@@ -1,0 +1,165 @@
+(* mfd — multi-output functional decomposition with don't cares.
+
+   Command-line front end: decompose builtin benchmarks or BLIF/PLA
+   files into LUT networks, report LUT/CLB statistics, export BLIF or
+   DOT, list the benchmark catalogue. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let algorithm_conv =
+  let parse = function
+    | "mulopii" | "mulopII" -> Ok Mulop.Mulop_ii
+    | "mulop-dc" | "dc" -> Ok Mulop.Mulop_dc
+    | "mulop-dcii" | "mulop-dcII" | "dcii" -> Ok Mulop.Mulop_dc_ii
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Mulop.algorithm_name a))
+
+let load_spec m path_or_name =
+  if Filename.check_suffix path_or_name ".blif" then begin
+    let net = Blif.parse_file path_or_name in
+    (Randnet.spec_of_network m net, Filename.basename path_or_name)
+  end
+  else if Filename.check_suffix path_or_name ".pla" then begin
+    let pla = Pla.parse_file path_or_name in
+    let isfs = Pla.to_isfs m ~var_of_column:(fun k -> k) pla in
+    ( { Driver.input_names = pla.Pla.input_names; functions = isfs },
+      Filename.basename path_or_name )
+  end
+  else begin
+    match Mcnc.find path_or_name with
+    | entry -> (entry.Mcnc.build m, entry.Mcnc.name)
+    | exception Not_found ->
+        let build = List.assoc path_or_name Extra.catalogue in
+        (build m, path_or_name)
+  end
+
+let run_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Benchmark name (see $(b,mfd list)), a .blif file, or a .pla \
+             file.")
+  in
+  let algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv Mulop.Mulop_dc
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:"One of $(b,mulopII), $(b,mulop-dc), $(b,mulop-dcII).")
+  in
+  let lut_size =
+    Arg.(
+      value & opt int 5
+      & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT input count (2 for gates).")
+  in
+  let out_blif =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output-blif" ] ~docv:"FILE" ~doc:"Write the result as BLIF.")
+  in
+  let out_dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the result as Graphviz DOT.")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Check the result against the spec.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
+  let run target algorithm lut_size out_blif out_dot verify verbose =
+    setup_logs verbose;
+    let m = Bdd.manager () in
+    match load_spec m target with
+    | exception Not_found ->
+        Printf.eprintf "unknown benchmark %S (try `mfd list`)\n" target;
+        exit 1
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | spec, name ->
+        let outcome = Mulop.run ~lut_size m algorithm spec in
+        Format.printf "%s: %a@." name Mulop.pp_outcome outcome;
+        (match out_blif with
+        | Some path -> Blif.write_file ~model:name path outcome.Mulop.network
+        | None -> ());
+        (match out_dot with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Network.to_dot outcome.Mulop.network);
+            close_out oc
+        | None -> ());
+        if verify then
+          if Driver.verify m spec outcome.Mulop.network then
+            Format.printf "verify: OK (network realizes the specification)@."
+          else begin
+            Format.printf "verify: FAILED@.";
+            exit 1
+          end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Decompose a benchmark or file into a LUT network.")
+    Term.(
+      const run $ target $ algorithm $ lut_size $ out_blif $ out_dot $ verify
+      $ verbose)
+
+let list_cmd =
+  let list () =
+    Format.printf "%-8s %5s %5s %-6s %s@." "name" "in" "out" "exact" "note";
+    List.iter
+      (fun e ->
+        Format.printf "%-8s %5d %5d %-6b %s@." e.Mcnc.name e.Mcnc.ninputs
+          e.Mcnc.noutputs e.Mcnc.exact e.Mcnc.note)
+      Mcnc.catalogue;
+    Format.printf "@.extra functions (not in the paper's tables):@.";
+    List.iter
+      (fun (name, _) -> Format.printf "  %s@." name)
+      Extra.catalogue
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the builtin benchmark catalogue.")
+    Term.(const list $ const ())
+
+let compare_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET" ~doc:"Benchmark name, .blif or .pla file.")
+  in
+  let lut_size =
+    Arg.(value & opt int 5 & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT inputs.")
+  in
+  let compare target lut_size =
+    setup_logs false;
+    let m = Bdd.manager () in
+    match load_spec m target with
+    | exception Not_found ->
+        Printf.eprintf "unknown benchmark %S\n" target;
+        exit 1
+    | spec, name ->
+        Format.printf "%s (lut size %d):@." name lut_size;
+        List.iter
+          (fun alg ->
+            let o = Mulop.run ~lut_size m alg spec in
+            Format.printf "  %a@." Mulop.pp_outcome o)
+          [ Mulop.Mulop_ii; Mulop.Mulop_dc; Mulop.Mulop_dc_ii ]
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run all three algorithms on one target and compare counts.")
+    Term.(const compare $ target $ lut_size)
+
+let () =
+  let doc = "multi-output functional decomposition with don't cares" in
+  let info = Cmd.info "mfd" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; compare_cmd ]))

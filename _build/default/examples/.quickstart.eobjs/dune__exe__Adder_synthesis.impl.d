@@ -1,0 +1,1 @@
+examples/adder_synthesis.ml: Arith Array Bdd Circuits Driver Format Isf List Mulop Network String Sys

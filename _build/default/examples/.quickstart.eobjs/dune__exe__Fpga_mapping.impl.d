@@ -1,0 +1,1 @@
+examples/fpga_mapping.ml: Array Bdd Driver Format List Mcnc Mulop Sys

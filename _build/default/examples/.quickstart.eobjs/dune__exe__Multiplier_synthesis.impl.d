@@ -1,0 +1,1 @@
+examples/multiplier_synthesis.ml: Arith Array Bdd Circuits Driver Format Isf List Mulop Network Sys

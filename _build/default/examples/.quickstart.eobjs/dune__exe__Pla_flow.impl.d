@@ -1,0 +1,1 @@
+examples/pla_flow.ml: Array Bdd Blif Driver Format Isf List Mulop Network Pla Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bdd Blif Bvec Config Driver Format Isf List Mulop Network Symmetry

@@ -1,0 +1,45 @@
+(* Table 1 scenario: map benchmark circuits onto the Xilinx XC3000
+   (5-input LUTs, 2-output CLBs) and compare the CLB counts of the
+   mulopII baseline (all don't cares assigned 0) against mulop-dc (the
+   paper's three-step don't-care assignment).
+
+   Run with:  dune exec examples/fpga_mapping.exe [name ...]
+   Without arguments a representative subset of Table 1 is used. *)
+
+let default_names = [ "rd73"; "rd84"; "9sym"; "z4ml"; "5xp1"; "alu2"; "clip" ]
+
+let () =
+  let names =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ :: [] | [] -> default_names
+  in
+  Format.printf "%-8s %6s %6s %9s %9s %7s@." "circuit" "in" "out" "mulopII"
+    "mulop-dc" "gain";
+  let total_ii = ref 0 and total_dc = ref 0 in
+  List.iter
+    (fun name ->
+      match Mcnc.find name with
+      | exception Not_found -> Format.printf "%-8s (unknown benchmark)@." name
+      | entry ->
+          let m = Bdd.manager () in
+          let spec = entry.Mcnc.build m in
+          let run alg = Mulop.run m alg spec in
+          let ii = run Mulop.Mulop_ii in
+          let dc = run Mulop.Mulop_dc in
+          assert (Driver.verify m spec ii.Mulop.network);
+          assert (Driver.verify m spec dc.Mulop.network);
+          total_ii := !total_ii + ii.Mulop.clb_count;
+          total_dc := !total_dc + dc.Mulop.clb_count;
+          let gain =
+            100.0
+            *. (1.0
+               -. (float_of_int dc.Mulop.clb_count
+                  /. float_of_int (max 1 ii.Mulop.clb_count)))
+          in
+          Format.printf "%-8s %6d %6d %9d %9d %6.1f%%@." name entry.Mcnc.ninputs
+            entry.Mcnc.noutputs ii.Mulop.clb_count dc.Mulop.clb_count gain)
+    names;
+  Format.printf "%-8s %6s %6s %9d %9d %6.1f%%@." "total" "" "" !total_ii
+    !total_dc
+    (100.0 *. (1.0 -. (float_of_int !total_dc /. float_of_int (max 1 !total_ii))))

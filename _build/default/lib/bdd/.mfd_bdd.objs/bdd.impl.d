@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Buffer Format Hashtbl List Printf Random Stdlib

@@ -1,0 +1,161 @@
+(** Reduced ordered binary decision diagrams with hash consing.
+
+    All functions of one {!manager} share a single unique table, so two
+    structurally equal BDDs are physically equal and [equal] is O(1).  The
+    variable order is the natural order of variable indices (variable 0 is
+    the topmost level).  Nodes are never garbage collected; a manager grows
+    monotonically, which is adequate for the synthesis workloads of this
+    library.
+
+    Mixing nodes of different managers in one operation is a programming
+    error; it is detected (cheaply, via node ids) only by assertions. *)
+
+type manager
+
+type t
+(** A BDD node, tied to the manager that created it. *)
+
+val manager : ?cache_size:int -> unit -> manager
+(** Create a fresh manager. [cache_size] is the initial size of the
+    operation caches (default 4096). *)
+
+val clear_caches : manager -> unit
+(** Drop all memoized operation results (the unique table is kept, so
+    node identity is preserved). *)
+
+val node_count : manager -> int
+(** Total number of live internal nodes in the unique table. *)
+
+(** {1 Constants and variables} *)
+
+val zero : manager -> t
+val one : manager -> t
+val var : manager -> int -> t
+(** [var m i] is the projection function of variable [i].  Indices are
+    arbitrary integers; the variable order is their numeric order
+    (smaller = closer to the root).  Negative indices are how the
+    decomposition driver places fresh variables {e above} the primary
+    inputs. *)
+
+val nvar : manager -> int -> t
+(** [nvar m i] is the complement of variable [i]. *)
+
+(** {1 Structure} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val id : t -> int
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_const : t -> bool
+
+val view : t -> [ `Zero | `One | `Node of int * t * t ]
+(** [`Node (v, lo, hi)] exposes the top variable and the two cofactors. *)
+
+val top_var : t -> int
+(** Top variable of a non-constant node. @raise Invalid_argument on
+    constants. *)
+
+(** {1 Boolean operations} *)
+
+val not_ : manager -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor : manager -> t -> t -> t
+val nand : manager -> t -> t -> t
+val nor : manager -> t -> t -> t
+val xnor : manager -> t -> t -> t
+val imp : manager -> t -> t -> t
+val diff : manager -> t -> t -> t
+(** [diff m f g] is [f /\ not g]. *)
+
+val ite : manager -> t -> t -> t -> t
+val and_list : manager -> t list -> t
+val or_list : manager -> t list -> t
+
+(** {1 Cofactors, quantification, substitution} *)
+
+val restrict : manager -> t -> int -> bool -> t
+(** [restrict m f v b] is the cofactor of [f] with variable [v] fixed
+    to [b]. *)
+
+val cofactor2 : manager -> t -> int -> t * t
+(** [cofactor2 m f v] is [(restrict f v false, restrict f v true)]. *)
+
+val exists : manager -> int list -> t -> t
+val forall : manager -> int list -> t -> t
+
+val compose : manager -> t -> int -> t -> t
+(** [compose m f v g] substitutes [g] for variable [v] in [f]. *)
+
+val vector_compose : manager -> t -> (int * t) list -> t
+(** Simultaneous substitution.  The substituted variables must not occur
+    in the replacement functions (checked by assertion), which is the
+    only case this library needs. *)
+
+val swap_vars : manager -> t -> int -> int -> t
+(** [swap_vars m f i j] is [f] with variables [i] and [j] exchanged. *)
+
+val rename : manager -> t -> (int -> int) -> t
+(** [rename m f pi] substitutes variable [pi v] for every variable [v]
+    (simultaneously).  [pi] must be injective on the support of [f];
+    it need not preserve the variable order. *)
+
+val negate_var : manager -> t -> int -> t
+(** [negate_var m f v] is [fun x -> f (x with bit v flipped)]. *)
+
+(** {1 Inspection} *)
+
+val support : manager -> t -> int list
+(** Variables [f] essentially depends on, ascending.  Memoized per node
+    in the manager, so repeated queries are O(1). *)
+
+val depends_on : t -> int -> bool
+val size : t -> int
+(** Number of internal nodes of [f] (shared nodes counted once). *)
+
+val size_list : t list -> int
+(** Nodes of the shared DAG of a list of functions. *)
+
+val sat_count : manager -> t -> nvars:int -> float
+(** Number of satisfying assignments over [nvars] variables (variables
+    must all be in [0 .. nvars-1]). *)
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under an assignment. *)
+
+val any_sat : t -> (int * bool) list
+(** One satisfying path (empty for [one]).  @raise Not_found on [zero]. *)
+
+val random : manager -> nvars:int -> density:float -> Random.State.t -> t
+(** Random function over variables [0 .. nvars-1]; [density] is the
+    probability of a minterm being in the on-set. *)
+
+(** {1 Vectors of cofactors (decomposition support)} *)
+
+val cofactor_vector : manager -> t -> int list -> t array
+(** [cofactor_vector m f vars] lists all [2^p] cofactors of [f] w.r.t.
+    [vars = [v1; ...; vp]].  Index [i] holds the cofactor for the
+    assignment where the {e first} variable of the list is the most
+    significant bit of [i]. *)
+
+val of_vector : manager -> int list -> t array -> t
+(** Inverse of {!cofactor_vector} for constant vectors generalized to
+    functions: [of_vector m vars vec] builds the function whose cofactor
+    vector w.r.t. [vars] is [vec].  [vars] must be strictly ascending and
+    the entries of [vec] must not depend on [vars] (they may depend on
+    any other variable, above or below). *)
+
+val minterm_of_code : manager -> int list -> int -> t
+(** [minterm_of_code m vars code] is the conjunction of literals of
+    [vars] encoding [code] (first variable = most significant bit). *)
+
+(** {1 Output} *)
+
+val pp : Format.formatter -> t -> unit
+(** Terse structural printout (for debugging). *)
+
+val to_dot : ?name:string -> t list -> string
+(** Graphviz rendering of the shared DAG of the given functions. *)

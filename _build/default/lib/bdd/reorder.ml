@@ -1,0 +1,151 @@
+type order = int array
+
+let shared_support m fs =
+  List.concat_map (Bdd.support m) fs |> List.sort_uniq Stdlib.compare
+
+let identity_of_support m fs = Array.of_list (shared_support m fs)
+
+let check_order m fs order =
+  let sup = shared_support m fs in
+  let listed = Array.to_list order in
+  let sorted = List.sort_uniq Stdlib.compare listed in
+  if List.length sorted <> Array.length order then
+    invalid_arg "Reorder: duplicate variables in order";
+  if not (List.for_all (fun v -> List.mem v sorted) sup) then
+    invalid_arg "Reorder: order does not cover the support"
+
+(* Relabel: position k of [order] gets the k-th smallest original index,
+   so the rebuilt functions "see" the requested order while living in
+   the manager's fixed numeric order. *)
+let relabeling order =
+  let slots = Array.copy order in
+  Array.sort Stdlib.compare slots;
+  let map = Hashtbl.create 16 in
+  Array.iteri (fun k v -> Hashtbl.replace map v slots.(k)) order;
+  fun v -> match Hashtbl.find_opt map v with Some w -> w | None -> v
+
+let apply m fs order =
+  check_order m fs order;
+  let pi = relabeling order in
+  List.map (fun f -> Bdd.rename m f pi) fs
+
+let size_under m fs order = Bdd.size_list (apply m fs order)
+
+let move_to arr from_pos to_pos =
+  let a = Array.copy arr in
+  let v = a.(from_pos) in
+  if from_pos < to_pos then Array.blit a (from_pos + 1) a from_pos (to_pos - from_pos)
+  else Array.blit arr to_pos a (to_pos + 1) (from_pos - to_pos);
+  a.(to_pos) <- v;
+  a
+
+let sift ?(max_rounds = 2) m fs order =
+  check_order m fs order;
+  let best = ref (Array.copy order) in
+  let best_size = ref (size_under m fs !best) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    let n = Array.length !best in
+    for idx = 0 to n - 1 do
+      (* variable currently at position idx: try all positions *)
+      let current = !best in
+      let var = current.(idx) in
+      let pos_of arr =
+        let p = ref (-1) in
+        Array.iteri (fun k v -> if v = var then p := k) arr;
+        !p
+      in
+      let here = pos_of current in
+      for target = 0 to n - 1 do
+        if target <> here then begin
+          let cand = move_to !best (pos_of !best) target in
+          let s = size_under m fs cand in
+          if s < !best_size then begin
+            best := cand;
+            best_size := s;
+            improved := true
+          end
+        end
+      done
+    done
+  done;
+  !best
+
+(* Contract each group to a block: keep the first member's position,
+   pull the others right behind it. *)
+let blockify order groups =
+  let order = Array.to_list order in
+  let in_group v = List.find_opt (fun g -> List.mem v g) groups in
+  let emitted = Hashtbl.create 16 in
+  let out =
+    List.concat_map
+      (fun v ->
+        if Hashtbl.mem emitted v then []
+        else
+          match in_group v with
+          | None ->
+              Hashtbl.add emitted v ();
+              [ v ]
+          | Some g ->
+              let members = List.filter (fun w -> List.mem w order) g in
+              List.iter (fun w -> Hashtbl.add emitted w ()) members;
+              members)
+      order
+  in
+  Array.of_list out
+
+let sift_symmetric ?(max_rounds = 2) m fs ~groups order =
+  check_order m fs order;
+  let order = blockify order groups in
+  (* Sifting over blocks: represent the order as a list of blocks, move
+     one block through all block positions. *)
+  let block_of v =
+    match List.find_opt (fun g -> List.mem v g) groups with
+    | Some g -> g
+    | None -> [ v ]
+  in
+  let blocks =
+    let seen = Hashtbl.create 16 in
+    Array.to_list order
+    |> List.filter_map (fun v ->
+           if Hashtbl.mem seen v then None
+           else begin
+             let b = List.filter (fun w -> Array.exists (( = ) w) order) (block_of v) in
+             List.iter (fun w -> Hashtbl.add seen w ()) b;
+             Some b
+           end)
+  in
+  let order_of_blocks bs = Array.of_list (List.concat bs) in
+  let best = ref blocks in
+  let best_size = ref (size_under m fs (order_of_blocks blocks)) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    List.iter
+      (fun block ->
+        let without = List.filter (fun b -> b != block) !best in
+        let n = List.length without in
+        for target = 0 to n do
+          let cand =
+            let rec insert k = function
+              | rest when k = 0 -> block :: rest
+              | [] -> [ block ]
+              | b :: rest -> b :: insert (k - 1) rest
+            in
+            insert target without
+          in
+          let s = size_under m fs (order_of_blocks cand) in
+          if s < !best_size then begin
+            best := cand;
+            best_size := s;
+            improved := true
+          end
+        done)
+      blocks
+  done;
+  order_of_blocks !best

@@ -1,0 +1,46 @@
+(** Variable-order search for shared BDDs.
+
+    The manager of this library keeps a fixed global order (the numeric
+    order of variable indices), so reordering is expressed as a
+    {e relabeling}: an order is an array [pi] listing variables from the
+    top level down, and functions are rebuilt with {!Bdd.rename} so that
+    the variable at position [k] of [pi] receives the [k]-th smallest of
+    the original indices.  [size_under] evaluates an order by the shared
+    node count of the rebuilt functions.
+
+    This is the substrate for the paper's use of {e symmetric sifting}
+    [Moller/Molitor/Drechsler; Panda/Somenzi/Plessier]: symmetric
+    variables are kept adjacent (they move as blocks), which both
+    shrinks ROBDDs and seeds the bound-set search with good candidate
+    groups. *)
+
+type order = int array
+(** Distinct variables, topmost first.  Must cover the support of every
+    function passed alongside it. *)
+
+val identity_of_support : Bdd.manager -> Bdd.t list -> order
+(** The variables of the shared support in their current order. *)
+
+val size_under : Bdd.manager -> Bdd.t list -> order -> int
+(** Shared node count of the functions rebuilt under the given order. *)
+
+val apply : Bdd.manager -> Bdd.t list -> order -> Bdd.t list
+(** Rebuild the functions so that the [k]-th variable of [order] takes
+    the [k]-th position of the sorted original support. *)
+
+val sift : ?max_rounds:int -> Bdd.manager -> Bdd.t list -> order -> order
+(** Classical sifting on the relabeling: each variable in turn is moved
+    through all positions and left where the shared size is minimal;
+    repeated until a round brings no improvement (at most
+    [max_rounds] rounds, default 2). *)
+
+val sift_symmetric :
+  ?max_rounds:int ->
+  Bdd.manager ->
+  Bdd.t list ->
+  groups:int list list ->
+  order ->
+  order
+(** Symmetric sifting: the given variable groups move as contiguous
+    blocks (group members are first made adjacent, preserving the
+    relative order of everything else). *)

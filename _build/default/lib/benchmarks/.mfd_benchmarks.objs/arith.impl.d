@@ -1,0 +1,1 @@
+lib/benchmarks/arith.ml: Array Bdd Bvec Driver List Printf

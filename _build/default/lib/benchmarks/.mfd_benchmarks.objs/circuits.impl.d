@@ -1,0 +1,1 @@
+lib/benchmarks/circuits.ml: Array List Network Printf String

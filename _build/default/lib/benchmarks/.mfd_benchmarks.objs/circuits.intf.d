@@ -1,0 +1,1 @@
+lib/benchmarks/circuits.mli: Network

@@ -1,0 +1,1 @@
+lib/benchmarks/extra.ml: Bdd Bvec Driver Fun List Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/mcnc.ml: Arith Bdd Driver List Randnet

@@ -1,0 +1,1 @@
+lib/benchmarks/mcnc.mli: Bdd Driver

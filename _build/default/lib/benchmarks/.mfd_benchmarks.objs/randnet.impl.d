@@ -1,0 +1,1 @@
+lib/benchmarks/randnet.ml: Array Bv Driver Hashtbl Int List Network Printf Random Set

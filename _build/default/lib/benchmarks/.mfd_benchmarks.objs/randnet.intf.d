@@ -1,0 +1,1 @@
+lib/benchmarks/randnet.mli: Bdd Driver Network

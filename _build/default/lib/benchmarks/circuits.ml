@@ -1,0 +1,123 @@
+let partial_product_index ~n name =
+  (* "p<i>_<j>" -> i*n + j; Scanf's %d would swallow the '_' as a digit
+     separator, so parse by hand *)
+  match String.split_on_char '_' (String.sub name 1 (String.length name - 1)) with
+  | [ i; j ] -> (int_of_string i * n) + int_of_string j
+  | _ -> invalid_arg name
+
+let mux2 net sel hi lo =
+  (* 2-input-gate realization of a mux: (sel /\ hi) \/ (~sel /\ lo) *)
+  let a = Network.and_gate net sel hi in
+  let b = Network.and_gate net (Network.not_gate net sel) lo in
+  Network.or_gate net a b
+
+(* Conditional carries are monotone in the carry-in (carry with cin=1
+   implies at least the carry with cin=0), so their mux needs only two
+   gates: lo \/ (sel /\ hi). *)
+let carry_mux2 net sel hi lo =
+  Network.or_gate net lo (Network.and_gate net sel hi)
+
+let conditional_sum_adder ~bits =
+  let net = Network.create () in
+  let x = Array.init bits (fun k -> Network.add_input net (Printf.sprintf "x%d" k)) in
+  let y = Array.init bits (fun k -> Network.add_input net (Printf.sprintf "y%d" k)) in
+  (* For the range [lo, lo+len): sums and carry-out assuming carry-in 0
+     and assuming carry-in 1. *)
+  let rec build lo len =
+    if len = 1 then begin
+      let a = x.(lo) and b = y.(lo) in
+      let s0 = Network.xor_gate net a b in
+      let c0 = Network.and_gate net a b in
+      let s1 = Network.xnor_gate net a b in
+      let c1 = Network.or_gate net a b in
+      ([| s0 |], c0, [| s1 |], c1)
+    end
+    else begin
+      let half = len / 2 in
+      let ls0, lc0, ls1, lc1 = build lo half in
+      let hs0, hc0, hs1, hc1 = build (lo + half) (len - half) in
+      let select carry_in_low =
+        let carry = if carry_in_low then lc1 else lc0 in
+        let sums =
+          Array.map2 (fun h1 h0 -> mux2 net carry h1 h0) hs1 hs0
+        in
+        let cout = carry_mux2 net carry hc1 hc0 in
+        let low = if carry_in_low then ls1 else ls0 in
+        (Array.append low sums, cout)
+      in
+      let s0, c0 = select false in
+      let s1, c1 = select true in
+      (s0, c0, s1, c1)
+    end
+  in
+  let s0, _, _, _ = build 0 bits in
+  Array.iteri (fun k s -> Network.set_output net (Printf.sprintf "f%d" k) s) s0;
+  net
+
+let wallace_partial_multiplier ~n =
+  let net = Network.create () in
+  let w = 2 * n in
+  let columns = Array.make w [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let p = Network.add_input net (Printf.sprintf "p%d_%d" i j) in
+      columns.(i + j) <- p :: columns.(i + j)
+    done
+  done;
+  (* Wallace reduction: compress every column to at most 2 bits with
+     full/half adders, then one carry-propagate pass. *)
+  let full_adder a b c =
+    let ab = Network.xor_gate net a b in
+    let s = Network.xor_gate net ab c in
+    let carry = Network.or_gate net (Network.and_gate net a b) (Network.and_gate net ab c) in
+    (s, carry)
+  in
+  let half_adder a b =
+    (Network.xor_gate net a b, Network.and_gate net a b)
+  in
+  let rec compress () =
+    if Array.exists (fun col -> List.length col > 2) columns then begin
+      for k = 0 to w - 1 do
+        let rec reduce = function
+          | a :: b :: c :: rest ->
+              let s, carry = full_adder a b c in
+              if k + 1 < w then columns.(k + 1) <- carry :: columns.(k + 1);
+              s :: reduce rest
+          | bits -> bits
+        in
+        columns.(k) <- reduce columns.(k)
+      done;
+      compress ()
+    end
+  in
+  compress ();
+  (* Final carry-propagate: ripple through the (<= 2)-bit columns. *)
+  let carry = ref None in
+  for k = 0 to w - 1 do
+    let bits = columns.(k) in
+    let s =
+      match (bits, !carry) with
+      | [], None -> Network.const net false
+      | [], Some c ->
+          carry := None;
+          c
+      | [ a ], None -> a
+      | [ a ], Some c ->
+          let s, carry' = half_adder a c in
+          carry := Some carry';
+          s
+      | [ a; b ], None ->
+          let s, carry' = half_adder a b in
+          carry := Some carry';
+          s
+      | [ a; b ], Some c ->
+          let s, carry' = full_adder a b c in
+          carry := Some carry';
+          s
+      | _ :: _ :: _ :: _, _ -> assert false
+    in
+    Network.set_output net (Printf.sprintf "r%d" k) s
+  done;
+  net
+
+let wallace_gate_formula n = (10 * n * n) - (20 * n)

@@ -1,0 +1,23 @@
+(** Reference gate-level circuits for the arithmetic comparisons of
+    Section 6.1: the conditional-sum adder (Sklansky) that Figure 2 is
+    compared against, and the Wallace-tree multiplier that Figure 3 is
+    compared against.  Both are built from 2-input gates so their
+    [two_input_gates] statistic is the paper's gate count. *)
+
+val partial_product_index : n:int -> string -> int
+(** Map a partial-product input name [p<i>_<j>] to the variable index
+    [i*n + j] used by {!Arith.partial_multiplier}. *)
+
+val conditional_sum_adder : bits:int -> Network.t
+(** Inputs [x0..], [y0..]; outputs [f0 .. f(bits-1)] (sum modulo
+    [2^bits], matching {!Arith.adder}). *)
+
+val wallace_partial_multiplier : n:int -> Network.t
+(** Wallace-tree reduction of the [n^2] partial-product inputs
+    [p{i}_{j}] into the [2n] product bits [r0 ..], using full/half
+    adders made of 2-input gates and a final ripple stage — the
+    comparison point for [pm_n].  Matches {!Arith.partial_multiplier}. *)
+
+val wallace_gate_formula : int -> int
+(** The paper's asymptotic gate count for the Wallace tree multiplier:
+    [10n^2 - 20n]. *)

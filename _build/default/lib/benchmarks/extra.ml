@@ -1,0 +1,44 @@
+let names prefix count = List.init count (Printf.sprintf "%s%d" prefix)
+
+let rd53 m =
+  let bits = List.init 5 (Bdd.var m) in
+  let weight = Bvec.popcount m bits in
+  Driver.spec_of_csf m (names "x" 5) (Bvec.named_outputs "f" weight)
+
+let sym6 m =
+  let bits = List.init 6 (Bdd.var m) in
+  let weight = Bvec.popcount m bits in
+  Driver.spec_of_csf m (names "x" 6)
+    [ ("f0", Bvec.equal_const m weight 2) ]
+
+let majority m ~inputs =
+  let bits = List.init inputs (Bdd.var m) in
+  let weight = Bvec.popcount m bits in
+  let w = Bvec.zero_extend m weight ~width:(Bvec.width weight + 1) in
+  let half = Bvec.consti m ~width:(Bvec.width w) (inputs / 2) in
+  Driver.spec_of_csf m (names "x" inputs) [ ("f0", Bvec.ult m half w) ]
+
+let parity m ~inputs =
+  let f =
+    List.fold_left
+      (fun acc v -> Bdd.xor m acc (Bdd.var m v))
+      (Bdd.zero m)
+      (List.init inputs Fun.id)
+  in
+  Driver.spec_of_csf m (names "x" inputs) [ ("f0", f) ]
+
+let t481_like m =
+  (* product of xors over disjoint pairs: perfectly decomposable, a
+     classic stress test for bound-set search *)
+  let term i = Bdd.xnor m (Bdd.var m (2 * i)) (Bdd.var m ((2 * i) + 1)) in
+  let f = Bdd.and_list m (List.init 8 term) in
+  Driver.spec_of_csf m (names "x" 16) [ ("f0", f) ]
+
+let catalogue =
+  [
+    ("rd53", rd53);
+    ("sym6", sym6);
+    ("maj9", fun m -> majority m ~inputs:9);
+    ("parity12", fun m -> parity m ~inputs:12);
+    ("t481", t481_like);
+  ]

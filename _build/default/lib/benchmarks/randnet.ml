@@ -1,0 +1,87 @@
+module Int_set = Set.Make (Int)
+
+let cones ~ninputs ~noutputs ?(window = 10) ?(gates_per_output = 8) ~seed () =
+  let st = Random.State.make [| seed; ninputs; noutputs |] in
+  let net = Network.create () in
+  let inputs =
+    Array.init ninputs (fun k -> Network.add_input net (Printf.sprintf "x%d" k))
+  in
+  let window = min window ninputs in
+  (* Every gate's transitive input support is tracked and hard-bounded,
+     so that the output BDDs stay small even when gates are shared
+     between neighbouring cones. *)
+  let max_support = window + 4 in
+  let supports : (int, Int_set.t) Hashtbl.t = Hashtbl.create 64 in
+  let support_of s =
+    match Network.input_name net s with
+    | Some _ -> Int_set.singleton (Network.signal_id s)
+    | None -> (
+        match Hashtbl.find_opt supports (Network.signal_id s) with
+        | Some set -> set
+        | None -> Int_set.empty)
+  in
+  (* Gates of the previous cone, available for sharing. *)
+  let prev_cone = ref [] in
+  for o = 0 to noutputs - 1 do
+    let start =
+      if ninputs = window then 0
+      else o * (ninputs - window) / max 1 (noutputs - 1)
+    in
+    let local = ref [] in
+    for k = 0 to window - 1 do
+      local := inputs.(start + k) :: !local
+    done;
+    let pick () =
+      let from_shared = !prev_cone <> [] && Random.State.float st 1.0 < 0.2 in
+      let pool = if from_shared then !prev_cone else !local in
+      List.nth pool (Random.State.int st (List.length pool))
+    in
+    let cone_gates = ref [] in
+    let last = ref inputs.(start) in
+    for gate_index = 1 to gates_per_output do
+      (* Mostly chain on the running value (so the cone keeps depending
+         on everything accumulated so far, instead of collapsing to a
+         shallow expression), sometimes combine two free picks. *)
+      let rec attempt tries =
+        let a =
+          if gate_index > 1 && Random.State.float st 1.0 < 0.7 then !last
+          else pick ()
+        in
+        let b = pick () in
+        let s = Int_set.union (support_of a) (support_of b) in
+        if Int_set.cardinal s > max_support && tries > 0 then attempt (tries - 1)
+        else if Int_set.cardinal s > max_support then
+          (* fall back: chain with a window input, support stays bounded *)
+          let b = inputs.(start + (gate_index mod window)) in
+          let a = !last in
+          (a, b, Int_set.union (support_of a) (support_of b))
+        else (a, b, s)
+      in
+      let a, b, s = attempt 4 in
+      (* Nondegenerate table; bias towards xor/xnor occasionally so the
+         functions do not collapse under absorption. *)
+      let mask =
+        if Random.State.int st 4 = 0 then if Random.State.bool st then 6 else 9
+        else 1 + Random.State.int st 14
+      in
+      let tt = Bv.of_fun 2 (fun i -> (mask lsr i) land 1 = 1) in
+      let g = Network.add_lut net ~fanins:[ a; b ] ~tt in
+      Hashtbl.replace supports (Network.signal_id g) s;
+      local := g :: !local;
+      cone_gates := g :: !cone_gates;
+      last := g
+    done;
+    prev_cone := !cone_gates;
+    Network.set_output net (Printf.sprintf "z%d" o) !last
+  done;
+  net
+
+let spec_of_network m net =
+  let input_names = List.map fst (Network.inputs net) in
+  let var_of =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun k n -> Hashtbl.add tbl n k) input_names;
+    fun n -> Hashtbl.find tbl n
+  in
+  let outputs = Network.output_bdds net m ~var_of_input:var_of in
+  Driver.spec_of_csf m input_names outputs

@@ -1,0 +1,25 @@
+(** Deterministic, seeded random cone networks.
+
+    Stand-ins for MCNC/ISCAS circuits whose original netlists are not
+    distributed here (see DESIGN.md section 4).  Each output is a
+    random cone over a window of the inputs, with sharing of
+    intermediate gates between neighbouring cones — mirroring the
+    locality of real circuits and keeping per-output supports (and thus
+    BDDs) small even for wide circuits like [rot] (135 inputs). *)
+
+val cones :
+  ninputs:int ->
+  noutputs:int ->
+  ?window:int ->
+  ?gates_per_output:int ->
+  seed:int ->
+  unit ->
+  Network.t
+(** Inputs are named [x0 ..], outputs [z0 ..].  [window] (default 10)
+    bounds every cone's input support; [gates_per_output] (default 8)
+    controls circuit density.  The same seed always yields the same
+    network. *)
+
+val spec_of_network : Bdd.manager -> Network.t -> Driver.spec
+(** Turn any gate network into a decomposition spec (inputs in network
+    order, outputs as their global BDDs). *)

@@ -1,0 +1,1 @@
+lib/blif/blif.ml: Bdd Buffer Bv Cover Hashtbl List Minimize Network Printf String

@@ -1,0 +1,1 @@
+lib/blif/pla.ml: Array Bdd Buffer Cover Isf List Printf String

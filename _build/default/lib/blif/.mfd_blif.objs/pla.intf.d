@@ -1,0 +1,1 @@
+lib/blif/pla.mli: Bdd Cover Isf

@@ -1,0 +1,18 @@
+(** BLIF reader and writer (combinational subset: [.model], [.inputs],
+    [.outputs], [.names], [.end], comments and line continuations).
+    Latches and subcircuits are rejected with {!Parse_error}. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse : string -> Network.t
+(** Parse BLIF text into a network.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Network.t
+
+val print : ?model:string -> Network.t -> string
+(** Render a network as BLIF ([.names] bodies are path covers of the
+    local functions). *)
+
+val write_file : ?model:string -> string -> Network.t -> unit

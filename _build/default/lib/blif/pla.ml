@@ -1,0 +1,142 @@
+type t = {
+  ninputs : int;
+  noutputs : int;
+  input_names : string list;
+  output_names : string list;
+  rows : (Cover.cube * char array) list;
+  kind : [ `F | `Fd | `Fr | `Fdr ];
+}
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let ninputs = ref (-1) and noutputs = ref (-1) in
+  let input_names = ref [] and output_names = ref [] in
+  let kind = ref `Fd in
+  let rows = ref [] in
+  let stop = ref false in
+  List.iteri
+    (fun idx line ->
+      let ln = idx + 1 in
+      if not !stop then begin
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let tokens =
+          String.split_on_char ' ' (String.trim line)
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "")
+        in
+        match tokens with
+        | [] -> ()
+        | ".i" :: [ n ] -> ninputs := int_of_string n
+        | ".o" :: [ n ] -> noutputs := int_of_string n
+        | ".ilb" :: names -> input_names := names
+        | ".ob" :: names -> output_names := names
+        | ".p" :: _ -> ()
+        | ".type" :: [ ty ] -> (
+            match ty with
+            | "f" -> kind := `F
+            | "fd" -> kind := `Fd
+            | "fr" -> kind := `Fr
+            | "fdr" -> kind := `Fdr
+            | _ -> fail ln (Printf.sprintf "unknown .type %s" ty))
+        | [ ".e" ] | [ ".end" ] -> stop := true
+        | d :: _ when String.length d > 0 && d.[0] = '.' ->
+            fail ln (Printf.sprintf "unsupported directive %s" d)
+        | [ ip; op ] ->
+            if !ninputs < 0 || !noutputs < 0 then
+              fail ln "cube before .i/.o declaration";
+            if String.length ip <> !ninputs then fail ln "input plane width";
+            if String.length op <> !noutputs then fail ln "output plane width";
+            let cube = Cover.cube_of_string ip in
+            let out =
+              Array.init !noutputs (fun k ->
+                  match op.[k] with
+                  | ('0' | '1' | '-' | '~') as c -> c
+                  | '2' -> '-'
+                  | c -> fail ln (Printf.sprintf "bad output-plane char %C" c))
+            in
+            rows := (cube, out) :: !rows
+        | _ -> fail ln "malformed line"
+      end)
+    lines;
+  if !ninputs < 0 || !noutputs < 0 then fail 0 "missing .i or .o";
+  let default_names prefix count = List.init count (Printf.sprintf "%s%d" prefix) in
+  let input_names =
+    if !input_names = [] then default_names "x" !ninputs else !input_names
+  in
+  let output_names =
+    if !output_names = [] then default_names "f" !noutputs else !output_names
+  in
+  if List.length input_names <> !ninputs then fail 0 ".ilb arity";
+  if List.length output_names <> !noutputs then fail 0 ".ob arity";
+  {
+    ninputs = !ninputs;
+    noutputs = !noutputs;
+    input_names;
+    output_names;
+    rows = List.rev !rows;
+    kind = !kind;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let to_isfs m ~var_of_column t =
+  let cube_bdd c = Cover.cube_to_bdd m var_of_column c in
+  List.mapi
+    (fun k name ->
+      let sets tag =
+        t.rows
+        |> List.filter_map (fun (cube, out) ->
+               if out.(k) = tag then Some (cube_bdd cube) else None)
+        |> Bdd.or_list m
+      in
+      let on = sets '1' in
+      let dc =
+        (* '~' means "no meaning" in espresso's output plane; only '-'
+           contributes don't cares. *)
+        match t.kind with
+        | `Fd | `Fdr -> Bdd.diff m (sets '-') on
+        | `F | `Fr -> Bdd.zero m
+      in
+      let isf =
+        match t.kind with
+        | `F | `Fd -> Isf.make m ~on ~dc
+        | `Fr | `Fdr ->
+            let off = Bdd.diff m (sets '0') (Bdd.or_ m on dc) in
+            let mentioned = Bdd.or_list m [ on; dc; off ] in
+            (* Unmentioned minterms of an fr/fdr PLA are don't cares. *)
+            Isf.make m ~on ~dc:(Bdd.or_ m dc (Bdd.not_ m mentioned))
+      in
+      (name, isf))
+    t.output_names
+
+let print t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n.o %d\n" t.ninputs t.noutputs);
+  Buffer.add_string buf (".ilb " ^ String.concat " " t.input_names ^ "\n");
+  Buffer.add_string buf (".ob " ^ String.concat " " t.output_names ^ "\n");
+  let kind_str =
+    match t.kind with `F -> "f" | `Fd -> "fd" | `Fr -> "fr" | `Fdr -> "fdr"
+  in
+  Buffer.add_string buf (Printf.sprintf ".type %s\n.p %d\n" kind_str (List.length t.rows));
+  List.iter
+    (fun (cube, out) ->
+      Buffer.add_string buf (Cover.string_of_cube cube);
+      Buffer.add_char buf ' ';
+      Array.iter (Buffer.add_char buf) out;
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Espresso PLA reader.  Supports [.i], [.o], [.ilb], [.ob], [.p],
+    [.type] (f, fd, fr, fdr), [.e]/[.end], comments.  This is the format
+    of the two-level MCNC benchmarks the paper synthesizes, and the
+    natural carrier for externally specified don't cares. *)
+
+type t = {
+  ninputs : int;
+  noutputs : int;
+  input_names : string list;
+  output_names : string list;
+  rows : (Cover.cube * char array) list;
+      (** input plane, output plane characters (['0'], ['1'], ['-'], ['~']) *)
+  kind : [ `F | `Fd | `Fr | `Fdr ];
+}
+
+exception Parse_error of int * string
+
+val parse : string -> t
+val parse_file : string -> t
+
+val to_isfs : Bdd.manager -> var_of_column:(int -> int) -> t -> (string * Isf.t) list
+(** Interpret the planes per [.type]: ['1'] contributes to the on-set,
+    ['-'] to the dc-set when the type includes [d], ['0'] to the off-set
+    when the type includes [r].  For type [f]/[fd], the off-set is the
+    complement of the mentioned sets. *)
+
+val print : t -> string

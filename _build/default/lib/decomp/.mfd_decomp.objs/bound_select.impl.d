@@ -1,0 +1,1 @@
+lib/decomp/bound_select.ml: Array Bdd Config Hashtbl Isf List Symmetry

@@ -1,0 +1,1 @@
+lib/decomp/bound_select.mli: Bdd Config Isf Symmetry

@@ -1,0 +1,1 @@
+lib/decomp/clb.ml: Array List Matching Network Ugraph

@@ -1,0 +1,1 @@
+lib/decomp/clb.mli: Network

@@ -1,0 +1,1 @@
+lib/decomp/config.mli: Format

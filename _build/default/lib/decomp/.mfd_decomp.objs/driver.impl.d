@@ -1,0 +1,1 @@
+lib/decomp/driver.ml: Array Bdd Bound_select Bv Config Hashtbl Isf List Logs Network Step String Symmetry Unix

@@ -1,0 +1,1 @@
+lib/decomp/driver.mli: Bdd Config Isf Network

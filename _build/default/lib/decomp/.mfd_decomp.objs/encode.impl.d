@@ -1,0 +1,1 @@
+lib/decomp/encode.ml: Array Fun Hashtbl List Option

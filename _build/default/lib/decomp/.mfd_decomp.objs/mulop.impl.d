@@ -1,0 +1,1 @@
+lib/decomp/mulop.ml: Clb Config Driver Format Network

@@ -1,0 +1,1 @@
+lib/decomp/mulop.mli: Bdd Config Driver Format Network

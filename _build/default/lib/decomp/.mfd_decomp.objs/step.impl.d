@@ -1,0 +1,1 @@
+lib/decomp/step.ml: Array Bdd Classes Coloring Config Encode Fun Hashtbl Isf List Logs Ugraph Unix

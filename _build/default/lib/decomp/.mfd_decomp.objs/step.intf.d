@@ -1,0 +1,1 @@
+lib/decomp/step.mli: Bdd Config Isf

@@ -1,0 +1,227 @@
+let ceil_log2 k =
+  let rec go bits cap = if cap >= k then bits else go (bits + 1) (cap * 2) in
+  go 0 1
+
+let score ?(lut_size = max_int) m isfs bound =
+  let relevant =
+    List.filter_map
+      (fun f ->
+        let overlap =
+          List.length
+            (List.filter (fun v -> List.mem v (Isf.support m f)) bound)
+        in
+        if overlap = 0 then None else Some (f, overlap))
+      isfs
+  in
+  if relevant = [] then (0, 1)
+  else begin
+    let vecs =
+      List.map (fun (f, overlap) -> (Isf.cofactor_vector m f bound, overlap)) relevant
+    in
+    let nverts = 1 lsl List.length bound in
+    let distinct_of vec =
+      let tbl = Hashtbl.create 8 in
+      for v = 0 to nverts - 1 do
+        Hashtbl.replace tbl (Bdd.id (Isf.on vec.(v)), Bdd.id (Isf.dc vec.(v))) ()
+      done;
+      Hashtbl.length tbl
+    in
+    let reduction =
+      List.fold_left
+        (fun acc (vec, overlap) -> acc + max 0 (overlap - ceil_log2 (distinct_of vec)))
+        0 vecs
+    in
+    let joint =
+      let tbl = Hashtbl.create 8 in
+      for v = 0 to nverts - 1 do
+        Hashtbl.replace tbl
+          (List.map (fun (vec, _) -> (Bdd.id (Isf.on vec.(v)), Bdd.id (Isf.dc vec.(v)))) vecs)
+          ()
+      done;
+      Hashtbl.length tbl
+    in
+    (* Net benefit: support reduction minus the realization cost of the
+       decomposition functions.  ceil(log2 joint) is the paper's lower
+       bound on how many distinct functions the step needs; each costs
+       one LUT when the bound set fits a LUT and a small sub-network
+       otherwise. *)
+    let p = List.length bound in
+    let cost =
+      (* Bound sets within the LUT size pay nothing extra: their
+         functions are single LUTs either way.  Oversized (Curtis) bound
+         sets pay the sub-network realization of each estimated
+         function. *)
+      if p <= lut_size then 0
+      else ceil_log2 joint * (1 + ((p - 2) / max 1 (lut_size - 1)))
+    in
+    (* Gate-level synthesis keys on the achieved support reduction (a
+       missed reducing pair costs a Shannon cascade); at realistic LUT
+       sizes the paper's criterion — minimize the communication
+       complexity [ncc(f, B)] of the step — comes first and the
+       reduction only breaks ties. *)
+    if lut_size <= 3 then (-(reduction - cost), joint)
+    else (joint + cost, -reduction)
+  end
+
+let select_with_target ?(min_size = 2) m cfg ~groups ~eligible isfs target =
+  if target < 2 then None
+  else begin
+    let in_eligible v = List.mem v eligible in
+    (* Atoms: symmetry groups cut down to eligible variables, split into
+       chunks no larger than the target; leftover variables become
+       singleton atoms. *)
+    let rec chunks k = function
+      | [] -> []
+      | vars ->
+          let rec take acc i = function
+            | [] -> (List.rev acc, [])
+            | x :: rest when i < k -> take (x :: acc) (i + 1) rest
+            | rest -> (List.rev acc, rest)
+          in
+          let c, rest = take [] 0 vars in
+          c :: chunks k rest
+    in
+    let grouped =
+      List.concat_map
+        (fun g -> chunks target (List.filter in_eligible (Symmetry.group_vars g)))
+        groups
+      |> List.filter (fun c -> c <> [])
+    in
+    (* Groups are additional atoms, not a partition: every variable is
+       also available individually, so a misleading potential-symmetry
+       group cannot lock the search out of better mixed bound sets. *)
+    let singles = List.map (fun v -> [ v ]) eligible in
+    let atoms =
+      List.filter (fun g -> List.length g >= 2) grouped @ singles
+    in
+    (* Grow a candidate from a seed atom, adding the atom (or atom
+       prefix) that minimizes the score until the target size. *)
+    let grow seed =
+      let rec loop acc current =
+        let size = List.length current in
+        let acc = if size >= target then List.sort compare current :: acc else acc in
+        if size >= target then acc
+        else begin
+          let room = target - size in
+          let extensions =
+            List.filter_map
+              (fun atom ->
+                let atom = List.filter (fun v -> not (List.mem v current)) atom in
+                match atom with
+                | [] -> None
+                | _ ->
+                    let take = chunks room atom in
+                    (match take with [] -> None | piece :: _ -> Some piece))
+              atoms
+          in
+          match extensions with
+          | [] -> acc
+          | _ ->
+              let scored =
+                List.map
+                  (fun piece ->
+                    let cand = List.sort compare (piece @ current) in
+                    (score ~lut_size:cfg.Config.lut_size m isfs cand, piece))
+                  extensions
+              in
+              let best =
+                List.fold_left
+                  (fun (bs, bp) (s, p) -> if s < bs then (s, p) else (bs, bp))
+                  (List.hd scored |> fst, List.hd scored |> snd)
+                  (List.tl scored)
+              in
+              loop acc (snd best @ current)
+        end
+      in
+      loop [] seed
+    in
+    (* Seeds: with a small region every atom seeds its own greedy
+       growth (the pair search is then effectively exhaustive for
+       2-input LUTs); otherwise the largest atoms plus an even spread of
+       the rest, up to the configured count. *)
+    let seeds =
+      (* Gate-level synthesis (tiny LUTs) needs the effectively
+         exhaustive pair search — missing the one reducing pair of an
+         adder stage costs a Shannon cascade.  At realistic LUT sizes
+         the configured seed count reproduces the paper's heuristic
+         search effort. *)
+      if cfg.Config.lut_size <= 3 && List.length atoms <= 24 then atoms
+      else begin
+        let by_size =
+          List.sort (fun a b -> compare (List.length b) (List.length a)) atoms
+        in
+        let rec take k = function
+          | [] -> []
+          | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+        in
+        let count = max 1 cfg.Config.seeds in
+        let head = take count by_size in
+        let n_atoms = List.length atoms in
+        let spread =
+          List.filteri (fun i _ -> i mod (1 + (n_atoms / count)) = 0) atoms
+        in
+        head @ spread
+      end
+    in
+    let window =
+      let rec take k = function
+        | [] -> []
+        | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+      in
+      take target eligible
+    in
+    let candidates = window :: List.concat_map grow seeds in
+    let candidates =
+      List.filter
+        (fun c -> List.length c >= min_size)
+        (List.map (List.sort compare) candidates)
+    in
+    let best_of = function
+      | [] -> None
+      | first :: rest ->
+          let rate = score ~lut_size:cfg.Config.lut_size m isfs in
+          Some
+            (List.fold_left
+               (fun (bs, bc) cand ->
+                 let s = rate cand in
+                 if s < bs then (s, cand) else (bs, bc))
+               (rate first, first)
+               rest)
+    in
+    match best_of candidates with
+    | Some (score, cand) -> Some (score, cand)
+    | None -> None
+  end
+
+let select m cfg ~groups ~eligible isfs =
+  let eligible = List.sort_uniq compare eligible in
+  let n = List.length eligible in
+  let lut_target = min cfg.Config.lut_size (n - 1) in
+  match select_with_target m cfg ~groups ~eligible isfs lut_target with
+  | Some (_, cand) -> Some cand
+  | None -> None
+
+(* An oversized (Curtis) bound set, one variable beyond the LUT size:
+   its decomposition functions become sub-networks, so it is only
+   offered when its net benefit is positive — the driver asks for it
+   after a LUT-sized step failed to make progress (symmetric
+   carry/weight functions at small LUT sizes need exactly this). *)
+let select_curtis ?(extra = 1) m cfg ~groups ~eligible isfs =
+  let eligible = List.sort_uniq compare eligible in
+  let n = List.length eligible in
+  let lut_target = min cfg.Config.lut_size (n - 1) in
+  let extended = min (max (cfg.Config.lut_size + extra) 3) (n - 1) in
+  if extended <= lut_target then None
+  else
+    match
+      select_with_target ~min_size:(lut_target + 1) m cfg ~groups ~eligible
+        isfs extended
+    with
+    | Some (_, cand) ->
+        (* The caller only asks after a LUT-sized step failed, where the
+           alternative is Shannon expansion; the step itself verifies
+           actual progress (don't-care merging often reduces classes the
+           distinct-cofactor estimate cannot see), so the best extended
+           candidate is always worth one attempt. *)
+        Some cand
+    | None -> None

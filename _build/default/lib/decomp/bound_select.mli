@@ -1,0 +1,44 @@
+(** Bound-set selection.
+
+    Candidates are grown greedily from seed {e atoms}; an atom is a
+    symmetry group (or a chunk of one), so that groups of symmetric
+    variables tend to land inside the same bound set — the paper's use
+    of symmetric sifting as the starting point of the search.  Candidate
+    bound sets are scored by the number of distinct cofactor tuples
+    (the joint class count before merging), lower being better. *)
+
+val score : ?lut_size:int -> Bdd.manager -> Isf.t list -> int list -> int * int
+(** Candidate quality, lexicographically smaller = better.  The first
+    component is the negated net benefit: the total support reduction
+    [sum_i (|B inter supp f_i| - r_i)] (with [r_i = ceil log2] of the
+    distinct-cofactor count) minus the estimated realization cost of the
+    decomposition functions ([ceil log2] of the joint class count, times
+    the LUTs each function needs given [lut_size]).  The second component
+    is the joint distinct-cofactor count — the sharing potential of the
+    paper's step 2. *)
+
+val select :
+  Bdd.manager ->
+  Config.t ->
+  groups:Symmetry.group list ->
+  eligible:int list ->
+  Isf.t list ->
+  int list option
+(** Choose a bound set of size [min cfg.lut_size (|eligible| - 1)] from
+    the eligible variables ([None] if fewer than 2 are eligible or no
+    set of size >= 2 fits).  The returned list is ascending. *)
+
+val select_curtis :
+  ?extra:int ->
+  Bdd.manager ->
+  Config.t ->
+  groups:Symmetry.group list ->
+  eligible:int list ->
+  Isf.t list ->
+  int list option
+(** A bound set one variable larger than the LUT size, offered only when
+    its estimated net benefit (reduction minus sub-network realization
+    cost of the decomposition functions) is positive.  Used by the driver
+    as a second attempt after a LUT-sized step made no progress:
+    symmetric carry/weight functions are not decomposable within small
+    LUT sizes but compress perfectly with one extra bound variable. *)

@@ -1,0 +1,97 @@
+type t = {
+  bound : int list;
+  nitems : int;
+  node_of_vertex : int array;
+  node_cof : Isf.t array array;
+}
+
+let nnodes t = Array.length t.node_cof
+let nvertices t = Array.length t.node_of_vertex
+
+let cofactor_matrix m isfs bound =
+  let rec ascending = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+  in
+  if not (ascending bound) then
+    invalid_arg "Classes.cofactor_matrix: bound set not ascending";
+  let isfs = Array.of_list isfs in
+  let nitems = Array.length isfs in
+  let vecs = Array.map (fun f -> Isf.cofactor_vector m f bound) isfs in
+  let nverts = 1 lsl List.length bound in
+  let node_of_vertex = Array.make nverts (-1) in
+  let table = Hashtbl.create 64 in
+  let nodes = ref [] in
+  let nnodes = ref 0 in
+  for v = 0 to nverts - 1 do
+    let key =
+      Array.init nitems (fun i ->
+          (Bdd.id (Isf.on vecs.(i).(v)), Bdd.id (Isf.dc vecs.(i).(v))))
+    in
+    match Hashtbl.find_opt table key with
+    | Some node -> node_of_vertex.(v) <- node
+    | None ->
+        let node = !nnodes in
+        incr nnodes;
+        Hashtbl.add table key node;
+        node_of_vertex.(v) <- node;
+        nodes := Array.init nitems (fun i -> vecs.(i).(v)) :: !nodes
+  done;
+  { bound; nitems; node_of_vertex; node_cof = Array.of_list (List.rev !nodes) }
+
+let joint_incompat m t =
+  let count = nnodes t in
+  let g = Ugraph.create count in
+  for u = 0 to count - 1 do
+    for v = u + 1 to count - 1 do
+      let incompatible =
+        let rec any i =
+          i < t.nitems
+          && ((not (Isf.compatible m t.node_cof.(u).(i) t.node_cof.(v).(i)))
+             || any (i + 1))
+        in
+        any 0
+      in
+      if incompatible then Ugraph.add_edge g u v
+    done
+  done;
+  g
+
+let join_isfs m = function
+  | [] -> invalid_arg "Classes.join_isfs: empty"
+  | first :: rest ->
+      let on, off =
+        List.fold_left
+          (fun (on, off) f -> (Bdd.or_ m on (Isf.on f), Bdd.or_ m off (Isf.off m f)))
+          (Isf.on first, Isf.off m first)
+          rest
+      in
+      Isf.of_on_off m ~on ~off
+
+let item_incompat_of_groups m t item class_of_node nclasses =
+  let members = Array.make nclasses [] in
+  Array.iteri
+    (fun node c -> members.(c) <- t.node_cof.(node).(item) :: members.(c))
+    class_of_node;
+  let joined = Array.map (join_isfs m) members in
+  let g = Ugraph.create nclasses in
+  for a = 0 to nclasses - 1 do
+    for b = a + 1 to nclasses - 1 do
+      if not (Isf.compatible m joined.(a) joined.(b)) then Ugraph.add_edge g a b
+    done
+  done;
+  g
+
+let ncc_csf m fs bound =
+  let vecs = List.map (fun f -> Bdd.cofactor_vector m f bound) fs in
+  let nverts = 1 lsl List.length bound in
+  let table = Hashtbl.create 64 in
+  for v = 0 to nverts - 1 do
+    let key = List.map (fun vec -> Bdd.id vec.(v)) vecs in
+    Hashtbl.replace table key ()
+  done;
+  Hashtbl.length table
+
+let ncc_estimate m isfs bound =
+  let t = cofactor_matrix m isfs bound in
+  nnodes t

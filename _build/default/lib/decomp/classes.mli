@@ -1,0 +1,50 @@
+(** Compatible classes of bound-set vertices (Roth/Karp), for vectors of
+    incompletely specified functions.
+
+    Given a bound set [B] of size [p], the [2^p] assignments of the bound
+    variables are the {e vertices}.  Two vertices are compatible for
+    output [i] if the cofactors of [f_i] at the two vertices admit a
+    common extension; they are {e jointly} compatible if this holds for
+    every output.  For completely specified functions compatibility is
+    equality of cofactors and the classes are the classical compatible
+    classes, whose count [ncc] determines the minimum number
+    [ceil(log2 ncc)] of decomposition functions. *)
+
+type t = {
+  bound : int list;  (** ascending *)
+  nitems : int;
+  node_of_vertex : int array;
+      (** vertex (index into the cofactor vector, first bound variable =
+          most significant bit) to deduplicated node *)
+  node_cof : Isf.t array array;
+      (** [node_cof.(node).(item)] — per-item cofactor of the node *)
+}
+
+val nnodes : t -> int
+val nvertices : t -> int
+
+val cofactor_matrix : Bdd.manager -> Isf.t list -> int list -> t
+(** Cofactor every function w.r.t. the (ascending) bound set and
+    deduplicate vertices with identical cofactor tuples. *)
+
+val joint_incompat : Bdd.manager -> t -> Ugraph.t
+(** Graph on nodes; edge = some output's cofactors are incompatible. *)
+
+val item_incompat_of_groups : Bdd.manager -> t -> int -> int array -> int -> Ugraph.t
+(** [item_incompat_of_groups m t item class_of_node nclasses]: graph on
+    the step-2 classes, edge = the two classes' joined cofactors of
+    [item] are incompatible. *)
+
+val join_isfs : Bdd.manager -> Isf.t list -> Isf.t
+(** Join of pairwise-compatible ISFs (conflicts are only ever pairwise,
+    so pairwise compatibility suffices).
+    @raise Invalid_argument on incompatible input. *)
+
+val ncc_csf : Bdd.manager -> Bdd.t list -> int list -> int
+(** Number of jointly distinct cofactor tuples of completely specified
+    functions — the exact joint [ncc]. *)
+
+val ncc_estimate : Bdd.manager -> Isf.t list -> int list -> int
+(** Distinct cofactor tuples of possibly incompletely specified
+    functions: an upper bound on the minimum class count, used as the
+    bound-set search score. *)

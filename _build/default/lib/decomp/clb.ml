@@ -1,0 +1,43 @@
+type policy = First_fit | Max_matching
+
+let distinct_inputs net u v =
+  let ins =
+    List.sort_uniq compare
+      (List.map Network.signal_id (Network.fanins net u)
+      @ List.map Network.signal_id (Network.fanins net v))
+  in
+  List.length ins
+
+let mergeable net u v =
+  (not (Network.signal_equal u v))
+  && List.length (Network.fanins net u) <= 4
+  && List.length (Network.fanins net v) <= 4
+  && distinct_inputs net u v <= 5
+
+let merge_graph net =
+  let luts = Array.of_list (Network.lut_signals net) in
+  let g = Ugraph.create (Array.length luts) in
+  for a = 0 to Array.length luts - 1 do
+    for b = a + 1 to Array.length luts - 1 do
+      if mergeable net luts.(a) luts.(b) then Ugraph.add_edge g a b
+    done
+  done;
+  (luts, g)
+
+let pairs policy net =
+  let luts, g = merge_graph net in
+  let matching =
+    match policy with
+    | First_fit -> Matching.greedy g
+    | Max_matching -> Matching.maximum g
+  in
+  List.map (fun (a, b) -> (luts.(a), luts.(b))) matching
+
+let clb_count policy net =
+  let luts, g = merge_graph net in
+  let matching =
+    match policy with
+    | First_fit -> Matching.greedy g
+    | Max_matching -> Matching.maximum g
+  in
+  Array.length luts - List.length matching

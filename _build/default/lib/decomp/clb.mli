@@ -1,0 +1,17 @@
+(** Merging LUTs into Xilinx XC3000 CLBs.
+
+    A CLB realizes either one function of up to five inputs, or two
+    functions of up to four inputs each that together use at most five
+    distinct inputs.  Pairing LUTs to minimize the CLB count is a
+    maximum-cardinality matching problem on the "mergeable" graph
+    (Murgai et al., DAC'90); the paper's [mulop-dc] uses a simple
+    first-fit pairing, [mulop-dcII] the exact matching. *)
+
+type policy = First_fit | Max_matching
+
+val mergeable : Network.t -> Network.signal -> Network.signal -> bool
+(** Can the two LUTs share one XC3000 CLB? *)
+
+val pairs : policy -> Network.t -> (Network.signal * Network.signal) list
+val clb_count : policy -> Network.t -> int
+(** [lut_count - number of merged pairs]. *)

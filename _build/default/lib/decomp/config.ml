@@ -1,0 +1,35 @@
+type dc_steps = { symmetry : bool; sharing : bool; cms : bool }
+
+type t = {
+  lut_size : int;
+  dc_steps : dc_steps;
+  zero_dc_on_entry : bool;
+  seeds : int;
+  symmetry_budget : int;
+  exact_coloring_limit : int;
+}
+
+let mulop_dc =
+  {
+    lut_size = 5;
+    dc_steps = { symmetry = true; sharing = true; cms = true };
+    zero_dc_on_entry = false;
+    seeds = 4;
+    symmetry_budget = 2000;
+    exact_coloring_limit = 50_000;
+  }
+
+let default = mulop_dc
+
+let mulop_ii =
+  {
+    mulop_dc with
+    dc_steps = { symmetry = false; sharing = false; cms = false };
+    zero_dc_on_entry = true;
+  }
+
+let with_lut_size lut_size t = { t with lut_size }
+
+let pp fmt t =
+  Format.fprintf fmt "lut=%d sym=%b share=%b cms=%b zero_dc=%b" t.lut_size
+    t.dc_steps.symmetry t.dc_steps.sharing t.dc_steps.cms t.zero_dc_on_entry

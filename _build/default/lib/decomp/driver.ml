@@ -1,0 +1,443 @@
+type spec = {
+  input_names : string list;
+  functions : (string * Isf.t) list;
+}
+
+type report = {
+  network : Network.t;
+  step_count : int;
+  shannon_count : int;
+  alpha_count : int;
+}
+
+let src = Logs.Src.create "mfd.driver" ~doc:"decomposition driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let spec_of_csf m input_names functions =
+  { input_names; functions = List.map (fun (n, f) -> (n, Isf.of_csf m f)) functions }
+
+type sink = Output of string | Alpha_var of int
+
+type item = { sink : sink; isf : Isf.t; shannon_depth : int }
+
+let decompose_report ?(cfg = Config.default) m spec =
+  let net = Network.create () in
+  let signal_of_var : (int, Network.signal) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun k name -> Hashtbl.replace signal_of_var k (Network.add_input net name))
+    spec.input_names;
+  (* Fresh variables (decomposition-function outputs) are allocated
+     with negative indices, i.e. ABOVE the inputs in the BDD order.
+     With the alpha variables on top, a composition function is a
+     shallow tree of alpha minterms over the class cofactors and its
+     construction is linear; with them at the bottom every disjunction
+     interleaves the free-variable structures quadratically. *)
+  let next_var = ref (-1) in
+  let fresh_var () =
+    let v = !next_var in
+    decr next_var;
+    v
+  in
+  let worklist =
+    ref
+      (List.map
+         (fun (name, isf) ->
+           let isf = if cfg.Config.zero_dc_on_entry then Isf.assign_all_zero m isf else isf in
+           { sink = Output name; isf; shannon_depth = 0 })
+         spec.functions)
+  in
+  let step_count = ref 0 and shannon_count = ref 0 and alpha_count = ref 0 in
+  let bound_var v = Hashtbl.mem signal_of_var v in
+  let signal v = Hashtbl.find signal_of_var v in
+  let bind sink s =
+    match sink with
+    | Output name -> Network.set_output net name s
+    | Alpha_var v -> Hashtbl.replace signal_of_var v s
+  in
+  (* Emit an item whose support fits a LUT and whose variables all have
+     signals.  Remaining don't cares are assigned 0 at this point: the
+     LUT content is free, the LUT count is not. *)
+  let try_emit item =
+    let sup = Isf.support m item.isf in
+    if List.length sup <= cfg.Config.lut_size && List.for_all bound_var sup then begin
+      let sup_arr = Array.of_list sup in
+      let on = Isf.on item.isf in
+      let tt =
+        Bv.of_fun (Array.length sup_arr) (fun idx ->
+            Bdd.eval on (fun v ->
+                let rec pos k = if sup_arr.(k) = v then k else pos (k + 1) in
+                (idx lsr pos 0) land 1 = 1))
+      in
+      let s = Network.add_lut net ~fanins:(List.map signal sup) ~tt in
+      bind item.sink s;
+      true
+    end
+    else false
+  in
+  let emit_ready () =
+    let rec pass () =
+      let before = List.length !worklist in
+      worklist := List.filter (fun item -> not (try_emit item)) !worklist;
+      if List.length !worklist < before then pass ()
+    in
+    pass ()
+  in
+  (* Shannon/MUX fallback for non-decomposable items.  Cofactors are
+     memoized by ISF identity so that repeated fallbacks share subcircuits
+     (otherwise a cascade of expansions duplicates whole cofactor trees). *)
+  let shannon_cache : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let shannon item =
+    incr shannon_count;
+    let sup = Isf.support m item.isf in
+    let v =
+      match List.filter bound_var sup with
+      | v :: _ -> v
+      | [] -> invalid_arg "Driver: item with no bound variable in support"
+    in
+    let depth = item.shannon_depth + 1 in
+    let cofactor_var b =
+      let f = Isf.restrict m item.isf v b in
+      let key = (Bdd.id (Isf.on f), Bdd.id (Isf.dc f)) in
+      match Hashtbl.find_opt shannon_cache key with
+      | Some var -> (var, [])
+      | None ->
+          let var = fresh_var () in
+          Hashtbl.add shannon_cache key var;
+          (var, [ { sink = Alpha_var var; isf = f; shannon_depth = depth } ])
+    in
+    let a, new0 = cofactor_var false in
+    let b, new1 = cofactor_var true in
+    let items0 = new0 @ new1 in
+    if cfg.Config.lut_size >= 3 then begin
+      let mux = Bdd.ite m (Bdd.var m v) (Bdd.var m b) (Bdd.var m a) in
+      { sink = item.sink; isf = Isf.of_csf m mux; shannon_depth = depth }
+      :: items0
+    end
+    else begin
+      (* 2-input gates: f = (v /\ f1) \/ (~v /\ f0) *)
+      let c = fresh_var () and d = fresh_var () in
+      let and1 = Bdd.and_ m (Bdd.var m v) (Bdd.var m b) in
+      let and2 = Bdd.and_ m (Bdd.nvar m v) (Bdd.var m a) in
+      let orr = Bdd.or_ m (Bdd.var m c) (Bdd.var m d) in
+      { sink = item.sink; isf = Isf.of_csf m orr; shannon_depth = depth }
+      :: { sink = Alpha_var c; isf = Isf.of_csf m and1; shannon_depth = depth }
+      :: { sink = Alpha_var d; isf = Isf.of_csf m and2; shannon_depth = depth }
+      :: items0
+    end
+  in
+  (* Direct Shannon cofactor-tree emission: for items that repeatedly
+     resisted decomposition (two Shannon rounds without a successful
+     step), expanding the remaining cofactor tree in one go avoids
+     rescanning the worklist once per split.  Subcircuits are shared via
+     a memo on the ISF identity, so this is essentially a mapping of the
+     (shared) BDD cofactor structure onto MUX LUTs. *)
+  let mux_memo : (int * int, Network.signal) Hashtbl.t = Hashtbl.create 64 in
+  let rec emit_mux_tree isf =
+    let key = (Bdd.id (Isf.on isf), Bdd.id (Isf.dc isf)) in
+    match Hashtbl.find_opt mux_memo key with
+    | Some s -> s
+    | None ->
+        let sup = Isf.support m isf in
+        let s =
+          if List.length sup <= cfg.Config.lut_size then begin
+            let ok = List.for_all bound_var sup in
+            if not ok then
+              invalid_arg "Driver.emit_mux_tree: unbound variable";
+            let sup_arr = Array.of_list sup in
+            let on = Isf.on isf in
+            let tt =
+              Bv.of_fun (Array.length sup_arr) (fun idx ->
+                  Bdd.eval on (fun v ->
+                      let rec pos k = if sup_arr.(k) = v then k else pos (k + 1) in
+                      (idx lsr pos 0) land 1 = 1))
+            in
+            Network.add_lut net ~fanins:(List.map signal sup) ~tt
+          end
+          else begin
+            incr shannon_count;
+            let v = match sup with v :: _ -> v | [] -> assert false in
+            let s0 = emit_mux_tree (Isf.restrict m isf v false) in
+            let s1 = emit_mux_tree (Isf.restrict m isf v true) in
+            if cfg.Config.lut_size >= 3 then
+              Network.mux_gate net ~sel:(signal v) ~hi:s1 ~lo:s0
+            else begin
+              let a = Network.and_gate net (signal v) s1 in
+              let b =
+                Network.and_gate net (Network.not_gate net (signal v)) s0
+              in
+              Network.or_gate net a b
+            end
+          end
+        in
+        Hashtbl.add mux_memo key s;
+        s
+  in
+  let support_size item = List.length (Isf.support m item.isf) in
+  let max_iterations = 10_000 + (100 * List.length spec.functions) in
+  let rec loop iter =
+    if iter > max_iterations then
+      failwith "Driver.decompose: iteration budget exhausted (no progress)";
+    emit_ready ();
+    if !worklist <> [] then begin
+      (* Primary: the pending item with the largest support among those
+         that can be decomposed now. *)
+      let decomposable =
+        List.filter
+          (fun it ->
+            support_size it > cfg.Config.lut_size
+            && List.exists bound_var (Isf.support m it.isf))
+          !worklist
+      in
+      match decomposable with
+      | [] ->
+          (* Everything small is waiting on unbound variables — can only
+             happen transiently; emit_ready above will unblock next
+             round once producers finish.  If nothing is decomposable
+             and nothing is ready, the dependency graph is broken. *)
+          failwith "Driver.decompose: deadlock in the worklist"
+      | _ ->
+          let primary =
+            List.fold_left
+              (fun best it -> if support_size it > support_size best then it else best)
+              (List.hd decomposable) (List.tl decomposable)
+          in
+          let region =
+            List.filter bound_var (Isf.support m primary.isf)
+          in
+          let participates it =
+            List.exists (fun v -> List.mem v region) (Isf.support m it.isf)
+            && support_size it > cfg.Config.lut_size
+          in
+          let participants, others = List.partition participates !worklist in
+          let participants = Array.of_list participants in
+          let isfs = Array.map (fun it -> it.isf) participants in
+          (* --- step 1: symmetrize (or just detect groups).  On wide
+             regions the quadratic pair search is throttled: only the
+             variables shared by the most participants are considered,
+             and the merge budget shrinks with the region size. *)
+          let sym_vars =
+            let limit = 14 in
+            if List.length region <= limit then region
+            else begin
+              let frequency v =
+                Array.fold_left
+                  (fun acc f ->
+                    if List.mem v (Isf.support m f) then acc + 1 else acc)
+                  0 isfs
+              in
+              region
+              |> List.map (fun v -> (-frequency v, v))
+              |> List.sort compare
+              |> List.filteri (fun i _ -> i < limit)
+              |> List.map snd |> List.sort compare
+            end
+          in
+          let phase_t0 = ref (Unix.gettimeofday ()) in
+          let phase name =
+            let now = Unix.gettimeofday () in
+            Log.debug (fun k -> k "  %s: %.2fs" name (now -. !phase_t0));
+            phase_t0 := now
+          in
+          let budget =
+            min cfg.Config.symmetry_budget
+              (8 * List.length sym_vars * List.length sym_vars)
+          in
+          let groups =
+            if cfg.Config.dc_steps.Config.symmetry then
+              (* Potential symmetries (don't cares make the exchanges
+                 possible); the assignments are NOT committed yet — only
+                 the groups that land inside the bound set will be. *)
+              (Symmetry.maximize ~budget m (Array.to_list isfs) sym_vars)
+                .Symmetry.groups
+            else
+              Symmetry.partition ~budget m
+                (Array.to_list (Array.map Isf.on isfs))
+                sym_vars
+          in
+          phase "symmetry";
+          (* --- bound set *)
+          let bound =
+            match
+              Bound_select.select m cfg ~groups ~eligible:region
+                (Array.to_list isfs)
+            with
+            | Some b -> b
+            | None -> []
+          in
+          phase "bound-select";
+          (* --- step 1 commitment: symmetrize exactly the group parts
+             that ended up inside the bound set.  Symmetries across the
+             bound/free boundary are not exploitable by this step (and
+             per the paper step 3 would not preserve them anyway). *)
+          let isfs =
+            if cfg.Config.dc_steps.Config.symmetry && bound <> [] then begin
+              let commit fs group =
+                let inside =
+                  List.filter (fun (v, _) -> List.mem v bound) group
+                in
+                if List.length inside < 2 then fs
+                else
+                  match Symmetry.close_group m fs inside with
+                  | Some fs' ->
+                      (* Specifying don't cares can also make vertices
+                         distinct; only keep the assignment when the
+                         class count of this bound set does not grow. *)
+                      let unchanged = List.for_all2 Isf.equal fs' fs in
+                      if
+                        unchanged
+                        || Bound_select.score m fs' bound
+                           < Bound_select.score m fs bound
+                      then fs'
+                      else fs
+                  | None -> fs
+              in
+              Array.of_list
+                (List.fold_left commit (Array.to_list isfs) groups)
+            end
+            else isfs
+          in
+          phase "symmetry-commit";
+          let alpha_items = ref [] in
+          (* Run one decomposition step against [bound]; commit (emit
+             the decomposition functions, replace the participants'
+             composition functions) only if some output got strictly
+             smaller or LUT-sized — the other outputs still profit from
+             the shared functions.  A step that reduces nothing is
+             rolled back entirely: committing it would spend LUTs on a
+             pure renaming of the bound variables. *)
+          let try_step bound =
+            if bound = [] then false
+            else begin
+              incr step_count;
+              let before_sizes =
+                Array.map (fun f -> List.length (Isf.support m f)) isfs
+              in
+              let result = Step.run m cfg ~fresh_var isfs ~bound in
+              let progressed = ref false in
+              Array.iteri
+                (fun i g ->
+                  let after = List.length (Isf.support m g) in
+                  if after < before_sizes.(i) || after <= cfg.Config.lut_size
+                  then progressed := true)
+                result.Step.g;
+              Log.debug (fun k ->
+                  k "  bound=[%s] r=[%s] sizes %s -> %s progressed=%b"
+                    (String.concat "," (List.map string_of_int bound))
+                    (String.concat ","
+                       (Array.to_list (Array.map string_of_int result.Step.r)))
+                    (String.concat ","
+                       (Array.to_list (Array.map string_of_int before_sizes)))
+                    (String.concat ","
+                       (Array.to_list
+                          (Array.map
+                             (fun g ->
+                               string_of_int (List.length (Isf.support m g)))
+                             result.Step.g)))
+                    !progressed);
+              if !progressed then begin
+                List.iter
+                  (fun { Step.var; func; _ } ->
+                    incr alpha_count;
+                    if List.length bound <= cfg.Config.lut_size then begin
+                      let bound_arr = Array.of_list bound in
+                      let tt =
+                        Bv.of_fun (Array.length bound_arr) (fun idx ->
+                            Bdd.eval func (fun v ->
+                                let rec pos k =
+                                  if bound_arr.(k) = v then k else pos (k + 1)
+                                in
+                                (idx lsr pos 0) land 1 = 1))
+                      in
+                      let s =
+                        Network.add_lut net ~fanins:(List.map signal bound) ~tt
+                      in
+                      Hashtbl.replace signal_of_var var s
+                    end
+                    else
+                      (* A Curtis step: the bound set exceeds the LUT
+                         size (e.g. a 3-input compressor for 2-input
+                         gates), so the decomposition function becomes a
+                         new work item and is decomposed recursively. *)
+                      alpha_items :=
+                        {
+                          sink = Alpha_var var;
+                          isf = Isf.of_csf m func;
+                          shannon_depth = 0;
+                        }
+                        :: !alpha_items)
+                  result.Step.alphas;
+                Array.iteri
+                  (fun i g ->
+                    participants.(i) <- { (participants.(i)) with isf = g })
+                  result.Step.g
+              end;
+              !progressed
+            end
+          in
+          let step_ok = try_step bound in
+          phase "step";
+          (* Second attempt with an oversized bound set: symmetric
+             carry/weight functions are not decomposable within small
+             LUT sizes but compress with one extra bound variable. *)
+          (* Oversized (Curtis) rescue attempts matter for gate-level
+             synthesis (2-3 input LUTs), where symmetric carry/weight
+             functions have no reducing bound set within the LUT size
+             and need a compressor step; at larger LUT sizes they rarely
+             pay for their sub-networks. *)
+          let curtis extra =
+            cfg.Config.lut_size <= 3
+            && (match
+                  Bound_select.select_curtis ~extra m cfg ~groups
+                    ~eligible:region (Array.to_list isfs)
+                with
+               | Some b2 when b2 <> bound -> try_step b2
+               | Some _ | None -> false)
+          in
+          let step_ok = step_ok || curtis 1 || curtis 2 in
+          worklist := !alpha_items @ Array.to_list participants @ others;
+          if not step_ok then begin
+            (* No support shrank: split the primary by Shannon expansion.
+               After two fruitless rounds the whole cofactor tree is
+               emitted at once (shared MUX network). *)
+            let target_sink = primary.sink in
+            let target =
+              List.find (fun it -> it.sink = target_sink) !worklist
+            in
+            let rest = List.filter (fun it -> it.sink <> target_sink) !worklist in
+            if target.shannon_depth >= 2
+               && List.for_all bound_var (Isf.support m target.isf)
+            then begin
+              bind target.sink (emit_mux_tree target.isf);
+              worklist := rest
+            end
+            else worklist := shannon target @ rest
+          end;
+          Log.debug (fun k ->
+              k "iter %d: worklist %d items" iter (List.length !worklist));
+          loop (iter + 1)
+    end
+  in
+  loop 0;
+  {
+    network = net;
+    step_count = !step_count;
+    shannon_count = !shannon_count;
+    alpha_count = !alpha_count;
+  }
+
+let decompose ?cfg m spec = (decompose_report ?cfg m spec).network
+
+let verify m spec net =
+  let var_of_input =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun k name -> Hashtbl.add tbl name k) spec.input_names;
+    fun name -> Hashtbl.find tbl name
+  in
+  let got = Network.output_bdds net m ~var_of_input in
+  List.for_all
+    (fun (name, isf) ->
+      match List.assoc_opt name got with
+      | Some g -> Isf.extends m g isf
+      | None -> false)
+    spec.functions

@@ -1,0 +1,36 @@
+(** Recursive multi-output decomposition driver.
+
+    Starting from a vector of (incompletely specified) functions over
+    named inputs, repeatedly: (1) assign don't cares to maximize
+    symmetries (step 1), (2) pick a bound set, (3) run one
+    {!Step.run} — which performs don't-care steps 2 and 3, extracts
+    shared strict decomposition functions and builds the composition
+    ISFs —, emit the decomposition functions as LUTs, and continue with
+    the composition functions, until everything fits into LUTs of the
+    configured size.  A Shannon/MUX fallback guarantees progress on
+    non-decomposable functions. *)
+
+type spec = {
+  input_names : string list;  (** input [k] is BDD variable [k] *)
+  functions : (string * Isf.t) list;  (** named outputs *)
+}
+
+type report = {
+  network : Network.t;
+  step_count : int;
+  shannon_count : int;
+  alpha_count : int;  (** total decomposition functions emitted *)
+}
+
+val spec_of_csf : Bdd.manager -> string list -> (string * Bdd.t) list -> spec
+
+val decompose : ?cfg:Config.t -> Bdd.manager -> spec -> Network.t
+(** The resulting network has one LUT per decomposition/composition
+    function, every LUT with at most [cfg.lut_size] inputs, and realizes
+    an extension of every specified output. *)
+
+val decompose_report : ?cfg:Config.t -> Bdd.manager -> spec -> report
+
+val verify : Bdd.manager -> spec -> Network.t -> bool
+(** Every output of the network extends the corresponding ISF of the
+    spec (equality when the spec is completely specified). *)

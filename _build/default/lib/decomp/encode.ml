@@ -1,0 +1,181 @@
+type output_classes = { class_of_node : int array; nclasses : int }
+
+type output_encoding = { alpha_ids : int list; code_of_class : int array }
+
+type t = { pool : bool array list; outputs : output_encoding array }
+
+let ceil_log2 k =
+  let rec go bits cap = if cap >= k then bits else go (bits + 1) (cap * 2) in
+  go 0 1
+
+(* An alpha (bit per node) is strict for an output iff it is constant on
+   each of the output's classes; the per-class bit is then defined. *)
+let class_bits_of_alpha oc alpha =
+  let bits = Array.make oc.nclasses (-1) in
+  let ok = ref true in
+  Array.iteri
+    (fun node c ->
+      let b = if alpha.(node) then 1 else 0 in
+      if bits.(c) < 0 then bits.(c) <- b else if bits.(c) <> b then ok := false)
+    oc.class_of_node;
+  if !ok then Some bits else None
+
+let encode specs =
+  let pool = ref [] in
+  let pool_count = ref 0 in
+  let add_pool alpha =
+    (* reuse an identical vector if present *)
+    let rec find idx = function
+      | [] -> None
+      | existing :: rest -> if existing = alpha then Some idx else find (idx + 1) rest
+    in
+    match find 0 (List.rev !pool) with
+    | Some idx -> idx
+    | None ->
+        pool := alpha :: !pool;
+        incr pool_count;
+        !pool_count - 1
+  in
+  let nnodes =
+    Array.fold_left (fun acc oc -> max acc (Array.length oc.class_of_node)) 0 specs
+  in
+  ignore nnodes;
+  let encodings = Array.make (Array.length specs) { alpha_ids = []; code_of_class = [||] } in
+  (* Larger outputs first: their fresh functions maximize reuse chances. *)
+  let order =
+    List.init (Array.length specs) Fun.id
+    |> List.sort (fun a b -> compare specs.(b).nclasses specs.(a).nclasses)
+  in
+  let encode_one i =
+    let oc = specs.(i) in
+    let k = oc.nclasses in
+    let r = ceil_log2 k in
+    if r = 0 then { alpha_ids = []; code_of_class = Array.make k 0 }
+    else begin
+      (* Greedy reuse of strict pool functions. *)
+      let pool_arr = Array.of_list (List.rev !pool) in
+      let chosen = ref [] (* (pool idx, class bits), MSB first, reversed *) in
+      let block_of_class = Array.make k 0 in
+      let max_block () =
+        let sizes = Hashtbl.create 16 in
+        Array.iter
+          (fun b ->
+            Hashtbl.replace sizes b (1 + Option.value ~default:0 (Hashtbl.find_opt sizes b)))
+          block_of_class;
+        Hashtbl.fold (fun _ n acc -> max acc n) sizes 0
+      in
+      let continue = ref true in
+      while !continue && List.length !chosen < r do
+        let s = List.length !chosen in
+        let best = ref None in
+        Array.iteri
+          (fun idx alpha ->
+            if not (List.exists (fun (j, _) -> j = idx) !chosen) then
+              match class_bits_of_alpha oc alpha with
+              | None -> ()
+              | Some bits ->
+                  (* tentative split *)
+                  let sizes = Hashtbl.create 16 in
+                  Array.iteri
+                    (fun c b ->
+                      let key = (b, bits.(c)) in
+                      Hashtbl.replace sizes key
+                        (1 + Option.value ~default:0 (Hashtbl.find_opt sizes key)))
+                    block_of_class;
+                  let mb = Hashtbl.fold (fun _ n acc -> max acc n) sizes 0 in
+                  let nblocks = Hashtbl.length sizes in
+                  if ceil_log2 mb <= r - s - 1 then
+                    (* feasible; prefer smallest max block, then most blocks *)
+                    let key = (mb, -nblocks) in
+                    match !best with
+                    | Some (bk, _, _) when bk <= key -> ()
+                    | _ -> best := Some (key, idx, bits))
+          pool_arr;
+        match !best with
+        | None -> continue := false
+        | Some (_, idx, bits) ->
+            chosen := (idx, bits) :: !chosen;
+            (* refine blocks *)
+            let renum = Hashtbl.create 16 in
+            Array.iteri
+              (fun c b ->
+                let key = (b, bits.(c)) in
+                let b' =
+                  match Hashtbl.find_opt renum key with
+                  | Some b' -> b'
+                  | None ->
+                      let b' = Hashtbl.length renum in
+                      Hashtbl.add renum key b';
+                      b'
+                in
+                block_of_class.(c) <- b')
+              block_of_class
+      done;
+      let chosen = List.rev !chosen (* MSB first *) in
+      let s = List.length chosen in
+      assert (ceil_log2 (max_block ()) <= r - s);
+      (* Suffixes: enumerate classes within each block. *)
+      let next_suffix = Hashtbl.create 16 in
+      let suffix = Array.make k 0 in
+      for c = 0 to k - 1 do
+        let b = block_of_class.(c) in
+        let n = Option.value ~default:0 (Hashtbl.find_opt next_suffix b) in
+        Hashtbl.replace next_suffix b n;
+        suffix.(c) <- n;
+        Hashtbl.replace next_suffix b (n + 1)
+      done;
+      let code_of_class =
+        Array.init k (fun c ->
+            let top =
+              List.fold_left (fun acc (_, bits) -> (acc lsl 1) lor bits.(c)) 0 chosen
+            in
+            (top lsl (r - s)) lor suffix.(c))
+      in
+      (* New alphas for the suffix bits, MSB of the suffix first. *)
+      let nodes = Array.length oc.class_of_node in
+      let new_ids =
+        List.init (r - s) (fun t ->
+            let bit = r - s - 1 - t in
+            let alpha =
+              Array.init nodes (fun node ->
+                  (suffix.(oc.class_of_node.(node)) lsr bit) land 1 = 1)
+            in
+            add_pool alpha)
+      in
+      { alpha_ids = List.map fst chosen @ new_ids; code_of_class }
+    end
+  in
+  List.iter (fun i -> encodings.(i) <- encode_one i) order;
+  { pool = List.rev !pool; outputs = encodings }
+
+let check specs t =
+  let pool = Array.of_list t.pool in
+  let ok = ref true in
+  Array.iteri
+    (fun i enc ->
+      let oc = specs.(i) in
+      let r = List.length enc.alpha_ids in
+      (* distinct codes *)
+      let seen = Hashtbl.create 16 in
+      Array.iter
+        (fun code ->
+          if Hashtbl.mem seen code then ok := false;
+          Hashtbl.add seen code ())
+        enc.code_of_class;
+      (* exactly ceil(log2 K) functions *)
+      if r <> ceil_log2 oc.nclasses then ok := false;
+      (* strictness and code consistency: bit (r-1-t) of a class's code
+         equals alpha_ids[t]'s value on the class's nodes *)
+      List.iteri
+        (fun tpos id ->
+          match class_bits_of_alpha oc pool.(id) with
+          | None -> ok := false
+          | Some bits ->
+              Array.iteri
+                (fun c code ->
+                  let bit = (code lsr (r - 1 - tpos)) land 1 in
+                  if bit <> bits.(c) then ok := false)
+                enc.code_of_class)
+        enc.alpha_ids)
+    t.outputs;
+  !ok

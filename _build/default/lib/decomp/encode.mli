@@ -1,0 +1,41 @@
+(** Class encoding with extraction of common decomposition functions.
+
+    Every output [i] has its compatible classes (a partition of the
+    deduplicated bound-set nodes) and must receive exactly
+    [r_i = ceil(log2 K_i)] decomposition functions — the paper's
+    constraint, which keeps the composition function's input count
+    minimal.  Decomposition functions are restricted to {e strict} ones
+    (constant on every compatible class), and the encoder greedily
+    reuses functions already introduced for earlier outputs whenever
+    they are strict for the current output and the remaining code space
+    still suffices — the mulop sharing scheme of Scholl & Molitor
+    (ASP-DAC'97). *)
+
+type output_classes = {
+  class_of_node : int array;  (** node -> class, classes [0 .. nclasses-1] *)
+  nclasses : int;
+}
+
+type output_encoding = {
+  alpha_ids : int list;
+      (** indices into {!pool}, most significant code bit first; length
+          [r_i] *)
+  code_of_class : int array;  (** class -> code, all codes distinct *)
+}
+
+type t = {
+  pool : bool array list;
+      (** decomposition functions as bit-per-node vectors, in pool-index
+          order *)
+  outputs : output_encoding array;
+}
+
+val encode : output_classes array -> t
+(** The total number of distinct decomposition functions
+    [List.length pool] satisfies
+    [max_i r_i <= |pool| <= sum_i r_i]. *)
+
+val check : output_classes array -> t -> bool
+(** Validity: codes distinct per output, every alpha strict w.r.t. every
+    output using it, and code bits consistent with the alpha vectors
+    (bit [k] of a class code equals the alpha's value on the class). *)

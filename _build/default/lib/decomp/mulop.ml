@@ -1,0 +1,47 @@
+type algorithm = Mulop_ii | Mulop_dc | Mulop_dc_ii
+
+type outcome = {
+  algorithm : algorithm;
+  network : Network.t;
+  lut_count : int;
+  clb_count : int;
+  depth : int;
+  step_count : int;
+  shannon_count : int;
+  alpha_count : int;
+}
+
+let algorithm_name = function
+  | Mulop_ii -> "mulopII"
+  | Mulop_dc -> "mulop-dc"
+  | Mulop_dc_ii -> "mulop-dcII"
+
+let config_of ?(lut_size = 5) = function
+  | Mulop_ii -> Config.with_lut_size lut_size Config.mulop_ii
+  | Mulop_dc | Mulop_dc_ii -> Config.with_lut_size lut_size Config.mulop_dc
+
+let run ?lut_size m algorithm spec =
+  let cfg = config_of ?lut_size algorithm in
+  let report = Driver.decompose_report ~cfg m spec in
+  let net = Network.sweep report.Driver.network in
+  let stats = Network.stats net in
+  let policy =
+    match algorithm with
+    | Mulop_ii | Mulop_dc -> Clb.First_fit
+    | Mulop_dc_ii -> Clb.Max_matching
+  in
+  {
+    algorithm;
+    network = net;
+    lut_count = stats.Network.lut_count;
+    clb_count = Clb.clb_count policy net;
+    depth = stats.Network.depth;
+    step_count = report.Driver.step_count;
+    shannon_count = report.Driver.shannon_count;
+    alpha_count = report.Driver.alpha_count;
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "%-10s luts=%-4d clbs=%-4d depth=%-3d steps=%d shannon=%d"
+    (algorithm_name o.algorithm) o.lut_count o.clb_count o.depth o.step_count
+    o.shannon_count

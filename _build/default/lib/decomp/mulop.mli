@@ -1,0 +1,22 @@
+(** Top-level algorithms of the paper's experiments. *)
+
+type algorithm =
+  | Mulop_ii  (** baseline: no don't-care exploitation (all DCs := 0) *)
+  | Mulop_dc  (** 3-step don't-care assignment, first-fit CLB merge *)
+  | Mulop_dc_ii  (** as [Mulop_dc] with maximum-matching CLB merge *)
+
+type outcome = {
+  algorithm : algorithm;
+  network : Network.t;
+  lut_count : int;
+  clb_count : int;
+  depth : int;
+  step_count : int;
+  shannon_count : int;
+  alpha_count : int;
+}
+
+val algorithm_name : algorithm -> string
+val config_of : ?lut_size:int -> algorithm -> Config.t
+val run : ?lut_size:int -> Bdd.manager -> algorithm -> Driver.spec -> outcome
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,41 @@
+(** One decomposition step: given a vector of (incompletely specified)
+    functions and a bound set, produce
+
+    - the decomposition functions [alpha] (BDDs over the bound
+      variables, shared across outputs), and
+    - for every output its composition function [g] as an ISF over
+      fresh alpha variables plus the free variables (don't cares of [g]
+      come from unused codes and from surviving input don't cares —
+      this is where the recursion generates the don't cares the paper
+      exploits).
+
+    The don't-care steps 2 (sharing-aware joint class minimization via
+    clique cover) and 3 (Chang & Marek-Sadowska per-output minimization)
+    run inside the step, controlled by {!Config.dc_steps}; step 1
+    (symmetrization) happens before bound-set selection and therefore in
+    the driver. *)
+
+type alpha = {
+  pool_id : int;
+  var : int;  (** fresh BDD variable standing for this function *)
+  func : Bdd.t;  (** the function itself, over the bound variables *)
+}
+
+type result = {
+  alphas : alpha list;  (** in pool order *)
+  g : Isf.t array;  (** per output; over alpha variables and free variables *)
+  r : int array;  (** number of decomposition functions per output *)
+  joint_classes : int;  (** the paper's lower-bound quantity [ncc(f, B)] *)
+}
+
+val run :
+  Bdd.manager ->
+  Config.t ->
+  fresh_var:(unit -> int) ->
+  Isf.t array ->
+  bound:int list ->
+  result
+
+val total_alpha_lower_bound : result -> int
+(** [ceil(log2 joint_classes)] — the paper's lower bound on the total
+    number of decomposition functions. *)

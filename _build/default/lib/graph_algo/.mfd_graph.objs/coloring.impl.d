@@ -1,0 +1,1 @@
+lib/graph_algo/coloring.ml: Array List Stdlib Ugraph

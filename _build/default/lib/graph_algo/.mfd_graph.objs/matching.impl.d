@@ -1,0 +1,1 @@
+lib/graph_algo/matching.ml: Array Hashtbl List Queue Ugraph

@@ -1,0 +1,1 @@
+lib/graph_algo/ugraph.ml: Array List Random

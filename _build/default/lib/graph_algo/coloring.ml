@@ -1,0 +1,89 @@
+let color_count colors =
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 colors
+
+let is_proper g colors =
+  List.for_all (fun (i, j) -> colors.(i) <> colors.(j)) (Ugraph.edges g)
+
+let smallest_free g colors v =
+  let used = Array.make (Ugraph.n g + 1) false in
+  List.iter
+    (fun w -> if colors.(w) >= 0 then used.(colors.(w)) <- true)
+    (Ugraph.neighbours g v);
+  let rec find c = if used.(c) then find (c + 1) else c in
+  find 0
+
+let greedy g order =
+  let colors = Array.make (Ugraph.n g) (-1) in
+  List.iter (fun v -> colors.(v) <- smallest_free g colors v) order;
+  colors
+
+let dsatur g =
+  let size = Ugraph.n g in
+  let colors = Array.make size (-1) in
+  let saturation v =
+    Ugraph.neighbours g v
+    |> List.filter_map (fun w -> if colors.(w) >= 0 then Some colors.(w) else None)
+    |> List.sort_uniq Stdlib.compare |> List.length
+  in
+  for _ = 1 to size do
+    (* Pick the uncolored vertex with max (saturation, degree). *)
+    let best = ref (-1) and best_key = ref (-1, -1) in
+    for v = 0 to size - 1 do
+      if colors.(v) < 0 then begin
+        let key = (saturation v, Ugraph.degree g v) in
+        if key > !best_key then begin
+          best := v;
+          best_key := key
+        end
+      end
+    done;
+    colors.(!best) <- smallest_free g colors !best
+  done;
+  colors
+
+exception Budget_exhausted
+
+let exact ?(limit = 200_000) g =
+  let size = Ugraph.n g in
+  if size = 0 then Some [||]
+  else begin
+    let upper = dsatur g in
+    let best = ref (Array.copy upper) in
+    let best_k = ref (color_count upper) in
+    let colors = Array.make size (-1) in
+    let steps = ref 0 in
+    (* Order vertices by decreasing degree for better pruning. *)
+    let order =
+      List.init size (fun v -> v)
+      |> List.sort (fun a b -> compare (Ugraph.degree g b) (Ugraph.degree g a))
+      |> Array.of_list
+    in
+    let rec go idx used_k =
+      incr steps;
+      if !steps > limit then raise Budget_exhausted;
+      if used_k >= !best_k then ()
+      else if idx = size then begin
+        best := Array.copy colors;
+        best_k := used_k
+      end
+      else begin
+        let v = order.(idx) in
+        let feasible c =
+          List.for_all (fun w -> colors.(w) <> c) (Ugraph.neighbours g v)
+        in
+        (* Try existing colors, then (symmetry breaking) one fresh color. *)
+        for c = 0 to min used_k (!best_k - 2) do
+          if feasible c then begin
+            colors.(v) <- c;
+            go (idx + 1) (max used_k (c + 1));
+            colors.(v) <- -1
+          end
+        done
+      end
+    in
+    match go 0 0 with
+    | () -> Some !best
+    | exception Budget_exhausted -> None
+  end
+
+let best g = match exact g with Some c -> c | None -> dsatur g

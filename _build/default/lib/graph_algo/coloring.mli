@@ -1,0 +1,27 @@
+(** Graph coloring heuristics.
+
+    Minimum coloring of the {e incompatibility} graph of bound-set
+    vertices is exactly the minimum clique cover of the compatibility
+    graph — the formulation used both by Chang & Marek-Sadowska's
+    don't-care assignment and by the paper's sharing-aware assignment
+    (Section 5, step 2). *)
+
+val greedy : Ugraph.t -> int list -> int array
+(** Color in the given vertex order, each vertex getting the smallest
+    color not used by its already-colored neighbours. *)
+
+val dsatur : Ugraph.t -> int array
+(** DSATUR heuristic: repeatedly color the vertex with the highest
+    saturation (number of distinct neighbour colors), breaking ties by
+    degree. *)
+
+val exact : ?limit:int -> Ugraph.t -> int array option
+(** Branch-and-bound exact minimum coloring, intended for the small
+    graphs of a decomposition step.  Gives up (returns [None]) after
+    [limit] search nodes (default 200_000). *)
+
+val best : Ugraph.t -> int array
+(** [exact] when it succeeds within its budget, otherwise [dsatur]. *)
+
+val color_count : int array -> int
+val is_proper : Ugraph.t -> int array -> bool

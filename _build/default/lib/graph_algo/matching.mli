@@ -1,0 +1,13 @@
+(** Maximum cardinality matching in general graphs (blossom algorithm,
+    O(V^3)).  Used to merge LUTs into XC3000 CLBs, following Murgai et
+    al. (DAC'90) as cited by the paper for the [mulop-dcII] flow. *)
+
+val maximum : Ugraph.t -> (int * int) list
+(** A maximum matching, each pair with [fst < snd]. *)
+
+val greedy : Ugraph.t -> (int * int) list
+(** A maximal (not maximum) matching obtained by scanning edges in
+    order — the simpler merge policy of the [mulop-dc] flow. *)
+
+val size : (int * int) list -> int
+val is_matching : Ugraph.t -> (int * int) list -> bool

@@ -1,0 +1,53 @@
+type t = { size : int; adj : bool array array }
+
+let create size = { size; adj = Array.make_matrix size size false }
+let n g = g.size
+
+let add_edge g i j =
+  if i <> j then begin
+    g.adj.(i).(j) <- true;
+    g.adj.(j).(i) <- true
+  end
+
+let has_edge g i j = i <> j && g.adj.(i).(j)
+
+let neighbours g i =
+  let acc = ref [] in
+  for j = g.size - 1 downto 0 do
+    if g.adj.(i).(j) then acc := j :: !acc
+  done;
+  !acc
+
+let degree g i = List.length (neighbours g i)
+
+let edges g =
+  let acc = ref [] in
+  for i = g.size - 1 downto 0 do
+    for j = g.size - 1 downto i + 1 do
+      if g.adj.(i).(j) then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let complement g =
+  let c = create g.size in
+  for i = 0 to g.size - 1 do
+    for j = i + 1 to g.size - 1 do
+      if not g.adj.(i).(j) then add_edge c i j
+    done
+  done;
+  c
+
+let of_edges size es =
+  let g = create size in
+  List.iter (fun (i, j) -> add_edge g i j) es;
+  g
+
+let random size p st =
+  let g = create size in
+  for i = 0 to size - 1 do
+    for j = i + 1 to size - 1 do
+      if Random.State.float st 1.0 < p then add_edge g i j
+    done
+  done;
+  g

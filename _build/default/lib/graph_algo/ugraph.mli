@@ -1,0 +1,22 @@
+(** Small undirected graphs on vertices [0 .. n-1], dense representation.
+    The decomposition engine uses graphs on bound-set vertices (at most
+    [2^5 = 32] of them per step) and on LUTs (hundreds), so simplicity
+    beats asymptotics here. *)
+
+type t
+
+val create : int -> t
+val n : t -> int
+val add_edge : t -> int -> int -> unit
+(** Self loops are ignored. *)
+
+val has_edge : t -> int -> int -> bool
+val neighbours : t -> int -> int list
+val degree : t -> int -> int
+val edges : t -> (int * int) list
+(** Each edge once, with [fst < snd]. *)
+
+val complement : t -> t
+val of_edges : int -> (int * int) list -> t
+val random : int -> float -> Random.State.t -> t
+(** Erdos-Renyi with the given edge probability. *)

@@ -1,0 +1,1 @@
+lib/logic/bv.ml: Bdd Bytes Char Format

@@ -1,0 +1,1 @@
+lib/logic/bvec.ml: Array Bdd Fun List Printf

@@ -1,0 +1,1 @@
+lib/logic/isf.ml: Array Bdd Format List Random Stdlib

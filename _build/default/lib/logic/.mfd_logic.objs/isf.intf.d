@@ -1,0 +1,1 @@
+lib/logic/isf.mli: Bdd Format Random

@@ -1,0 +1,1 @@
+lib/logic/minimize.ml: Array Bdd Cover Fun List

@@ -1,0 +1,123 @@
+type t = Bdd.t array
+
+let width = Array.length
+
+let consti m ~width v =
+  if v < 0 then invalid_arg "Bvec.consti: negative";
+  Array.init width (fun k -> if (v lsr k) land 1 = 1 then Bdd.one m else Bdd.zero m)
+
+let inputs m ~first_var ~width = Array.init width (fun k -> Bdd.var m (first_var + k))
+
+let zero_extend m a ~width =
+  if width < Array.length a then invalid_arg "Bvec.zero_extend: narrower";
+  Array.init width (fun k -> if k < Array.length a then a.(k) else Bdd.zero m)
+
+let extract a ~lo ~hi =
+  if lo < 0 || hi >= Array.length a || lo > hi then invalid_arg "Bvec.extract";
+  Array.sub a lo (hi - lo + 1)
+
+let full_adder m a b c =
+  let s = Bdd.xor m (Bdd.xor m a b) c in
+  let carry = Bdd.or_ m (Bdd.and_ m a b) (Bdd.and_ m (Bdd.xor m a b) c) in
+  (s, carry)
+
+let add_with_width m result_width a b =
+  let w = max (Array.length a) (Array.length b) in
+  let bit v k = if k < Array.length v then v.(k) else Bdd.zero m in
+  let out = Array.make result_width (Bdd.zero m) in
+  let carry = ref (Bdd.zero m) in
+  for k = 0 to result_width - 1 do
+    if k < w then begin
+      let s, c = full_adder m (bit a k) (bit b k) !carry in
+      out.(k) <- s;
+      carry := c
+    end
+    else if k = w then out.(k) <- !carry
+  done;
+  out
+
+let add m a b =
+  if Array.length a <> Array.length b then invalid_arg "Bvec.add: width mismatch";
+  add_with_width m (Array.length a + 1) a b
+
+let add_mod m a b =
+  if Array.length a <> Array.length b then invalid_arg "Bvec.add_mod: width mismatch";
+  add_with_width m (Array.length a) a b
+
+let sum m ~width terms =
+  List.fold_left (fun acc t -> add_with_width m width acc t) (consti m ~width 0) terms
+
+let mul m a b =
+  let w = Array.length a + Array.length b in
+  let partials =
+    List.concat
+      (List.init (Array.length b) (fun j ->
+           if j >= w then []
+           else
+             [
+               Array.init w (fun k ->
+                   if k >= j && k - j < Array.length a then Bdd.and_ m a.(k - j) b.(j)
+                   else Bdd.zero m);
+             ]))
+  in
+  sum m ~width:w partials
+
+let mulc m a c =
+  if c < 0 then invalid_arg "Bvec.mulc: negative";
+  if c = 0 then consti m ~width:1 0
+  else begin
+    let bits_of_c =
+      let rec go v = if v = 0 then 0 else 1 + go (v lsr 1) in
+      go c
+    in
+    let w = Array.length a + bits_of_c in
+    let shifted j =
+      Array.init w (fun k ->
+          if k >= j && k - j < Array.length a then a.(k - j) else Bdd.zero m)
+    in
+    let partials =
+      List.filter_map
+        (fun j -> if (c lsr j) land 1 = 1 then Some (shifted j) else None)
+        (List.init bits_of_c Fun.id)
+    in
+    sum m ~width:w partials
+  end
+
+let popcount m bits =
+  let n = List.length bits in
+  let rec bits_needed v = if v = 0 then 0 else 1 + bits_needed (v lsr 1) in
+  let w = max 1 (bits_needed n) in
+  sum m ~width:w (List.map (fun b -> [| b |]) bits)
+
+let mux m sel a b =
+  if Array.length a <> Array.length b then invalid_arg "Bvec.mux: width mismatch";
+  Array.init (Array.length a) (fun k -> Bdd.ite m sel a.(k) b.(k))
+
+let equal_const m a v =
+  let lits =
+    Array.to_list
+      (Array.mapi
+         (fun k bit -> if (v lsr k) land 1 = 1 then bit else Bdd.not_ m bit)
+         a)
+  in
+  Bdd.and_list m lits
+
+let ult m a b =
+  if Array.length a <> Array.length b then invalid_arg "Bvec.ult: width mismatch";
+  let rec go k =
+    (* compare from MSB down *)
+    if k < 0 then Bdd.zero m
+    else
+      Bdd.or_ m
+        (Bdd.and_ m (Bdd.not_ m a.(k)) b.(k))
+        (Bdd.and_ m (Bdd.xnor m a.(k) b.(k)) (go (k - 1)))
+  in
+  go (Array.length a - 1)
+
+let to_int a assignment =
+  let v = ref 0 in
+  Array.iteri (fun k bit -> if Bdd.eval bit assignment then v := !v lor (1 lsl k)) a;
+  !v
+
+let named_outputs prefix a =
+  Array.to_list (Array.mapi (fun k bit -> (Printf.sprintf "%s%d" prefix k, bit)) a)

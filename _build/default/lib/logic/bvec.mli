@@ -1,0 +1,48 @@
+(** Word-level arithmetic over vectors of BDDs (LSB first).  The
+    specification substrate for the paper's arithmetic experiments:
+    adders, partial multipliers and the arithmetic MCNC functions are
+    defined through this module and then handed to the decomposition
+    engine as BDD vectors. *)
+
+type t = Bdd.t array
+(** Bit [0] is the least significant. *)
+
+val width : t -> int
+val consti : Bdd.manager -> width:int -> int -> t
+val inputs : Bdd.manager -> first_var:int -> width:int -> t
+(** Bit [k] is the projection of variable [first_var + k]. *)
+
+val zero_extend : Bdd.manager -> t -> width:int -> t
+val extract : t -> lo:int -> hi:int -> t
+(** Bits [lo .. hi] inclusive. *)
+
+val add : Bdd.manager -> t -> t -> t
+(** Same-width addition, result one bit wider (carry out kept). *)
+
+val add_mod : Bdd.manager -> t -> t -> t
+(** Same-width addition modulo [2^width]. *)
+
+val sum : Bdd.manager -> width:int -> t list -> t
+(** Multi-operand addition into [width] bits (modulo [2^width]). *)
+
+val mul : Bdd.manager -> t -> t -> t
+(** Product, full width [w1 + w2]. *)
+
+val mulc : Bdd.manager -> t -> int -> t
+(** Product with a non-negative constant; width grows as needed. *)
+
+val popcount : Bdd.manager -> Bdd.t list -> t
+(** Binary weight of a list of bits. *)
+
+val mux : Bdd.manager -> Bdd.t -> t -> t -> t
+(** Bitwise if-then-else (widths must agree). *)
+
+val equal_const : Bdd.manager -> t -> int -> Bdd.t
+val ult : Bdd.manager -> t -> t -> Bdd.t
+(** Unsigned less-than. *)
+
+val to_int : t -> (int -> bool) -> int
+(** Evaluate under an assignment of BDD variables. *)
+
+val named_outputs : string -> t -> (string * Bdd.t) list
+(** [named_outputs "f" v] is [(f0, bit 0); (f1, bit 1); ...]. *)

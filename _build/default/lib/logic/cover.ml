@@ -1,0 +1,67 @@
+type literal = L0 | L1 | Ldash
+
+type cube = literal array
+
+let literal_of_char = function
+  | '0' -> L0
+  | '1' -> L1
+  | '-' | '2' -> Ldash
+  | c -> invalid_arg (Printf.sprintf "Cover.literal_of_char: %C" c)
+
+let char_of_literal = function L0 -> '0' | L1 -> '1' | Ldash -> '-'
+
+let cube_of_string s = Array.init (String.length s) (fun i -> literal_of_char s.[i])
+
+let string_of_cube c = String.init (Array.length c) (fun i -> char_of_literal c.(i))
+
+let cube_to_bdd m var_of_column c =
+  let lits = ref [] in
+  Array.iteri
+    (fun k lit ->
+      match lit with
+      | L0 -> lits := Bdd.nvar m (var_of_column k) :: !lits
+      | L1 -> lits := Bdd.var m (var_of_column k) :: !lits
+      | Ldash -> ())
+    c;
+  Bdd.and_list m !lits
+
+let cover_to_bdd m var_of_column cubes =
+  Bdd.or_list m (List.map (cube_to_bdd m var_of_column) cubes)
+
+let bdd_to_cover m vars f =
+  let nvars = List.length vars in
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.add pos v i) vars;
+  let cubes = ref [] in
+  let rec go f partial =
+    if Bdd.is_zero f then ()
+    else if Bdd.is_one f then begin
+      let cube = Array.make nvars Ldash in
+      List.iter
+        (fun (v, b) -> cube.(Hashtbl.find pos v) <- (if b then L1 else L0))
+        partial;
+      cubes := cube :: !cubes
+    end
+    else
+      match Bdd.view f with
+      | `Zero | `One -> assert false
+      | `Node (v, lo, hi) ->
+          if not (Hashtbl.mem pos v) then
+            invalid_arg "Cover.bdd_to_cover: function depends on extra variable";
+          go lo ((v, false) :: partial);
+          go hi ((v, true) :: partial)
+  in
+  go f [];
+  ignore m;
+  List.rev !cubes
+
+let cube_eval c assignment =
+  let ok = ref true in
+  Array.iteri
+    (fun k lit ->
+      match lit with
+      | L0 -> if assignment k then ok := false
+      | L1 -> if not (assignment k) then ok := false
+      | Ldash -> ())
+    c;
+  !ok

@@ -1,0 +1,73 @@
+type t = { on : Bdd.t; dc : Bdd.t }
+
+let make m ~on ~dc =
+  if not (Bdd.is_zero (Bdd.and_ m on dc)) then
+    invalid_arg "Isf.make: on-set and dc-set intersect";
+  { on; dc }
+
+let of_csf m on = { on; dc = Bdd.zero m }
+
+let on t = t.on
+let dc t = t.dc
+let off m t = Bdd.not_ m (Bdd.or_ m t.on t.dc)
+let care m t = Bdd.not_ m t.dc
+let is_completely_specified t = Bdd.is_zero t.dc
+
+let of_on_off m ~on ~off =
+  if not (Bdd.is_zero (Bdd.and_ m on off)) then
+    invalid_arg "Isf.of_on_off: on-set and off-set intersect";
+  make m ~on ~dc:(Bdd.nor m on off)
+
+let extends m g t =
+  Bdd.is_zero (Bdd.diff m t.on g) && Bdd.is_zero (Bdd.and_ m g (off m t))
+
+let equal a b = Bdd.equal a.on b.on && Bdd.equal a.dc b.dc
+
+let compatible m a b =
+  Bdd.is_zero (Bdd.and_ m a.on (off m b))
+  && Bdd.is_zero (Bdd.and_ m b.on (off m a))
+
+let join m a b =
+  if not (compatible m a b) then invalid_arg "Isf.join: incompatible";
+  let on = Bdd.or_ m a.on b.on in
+  let off_ = Bdd.or_ m (off m a) (off m b) in
+  make m ~on ~dc:(Bdd.nor m on off_)
+
+let assign_all_zero m t = { t with dc = Bdd.zero m }
+let assign_all_one m t = { on = Bdd.or_ m t.on t.dc; dc = Bdd.zero m }
+
+let restrict m t v b =
+  make m ~on:(Bdd.restrict m t.on v b) ~dc:(Bdd.restrict m t.dc v b)
+
+let cofactor_vector m t vars =
+  let rec go t = function
+    | [] -> [ t ]
+    | v :: rest -> go (restrict m t v false) rest @ go (restrict m t v true) rest
+  in
+  Array.of_list (go t vars)
+
+let swap_vars m t i j =
+  make m ~on:(Bdd.swap_vars m t.on i j) ~dc:(Bdd.swap_vars m t.dc i j)
+
+let negate_var m t v =
+  make m ~on:(Bdd.negate_var m t.on v) ~dc:(Bdd.negate_var m t.dc v)
+
+let support m t =
+  List.sort_uniq Stdlib.compare (Bdd.support m t.on @ Bdd.support m (off m t))
+
+let random_extension m t st =
+  if Bdd.is_zero t.dc then t.on
+  else
+    let vars = Bdd.support m t.dc in
+    let filler =
+      List.fold_left
+        (fun acc v ->
+          let lit = if Random.State.bool st then Bdd.var m v else Bdd.nvar m v in
+          if Random.State.bool st then Bdd.and_ m acc lit else Bdd.or_ m acc lit)
+        (if Random.State.bool st then Bdd.one m else Bdd.zero m)
+        vars
+    in
+    Bdd.or_ m t.on (Bdd.and_ m t.dc filler)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hv>{on=%a;@ dc=%a}@]" Bdd.pp t.on Bdd.pp t.dc

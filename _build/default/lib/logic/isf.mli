@@ -1,0 +1,64 @@
+(** Incompletely specified Boolean functions, represented by a pair of
+    BDDs: the on-set and the don't-care set (disjoint by construction).
+    The off-set is the complement of their union.
+
+    An ISF stands for the interval of completely specified functions
+    (extensions) [g] with [on <= g <= on \/ dc]. *)
+
+type t = private { on : Bdd.t; dc : Bdd.t }
+
+val make : Bdd.manager -> on:Bdd.t -> dc:Bdd.t -> t
+(** @raise Invalid_argument if [on] and [dc] intersect. *)
+
+val of_csf : Bdd.manager -> Bdd.t -> t
+(** Completely specified: empty don't-care set. *)
+
+val of_on_off : Bdd.manager -> on:Bdd.t -> off:Bdd.t -> t
+(** Don't-care set is everything outside [on \/ off].
+    @raise Invalid_argument if [on] and [off] intersect. *)
+
+val on : t -> Bdd.t
+val dc : t -> Bdd.t
+val off : Bdd.manager -> t -> Bdd.t
+val care : Bdd.manager -> t -> Bdd.t
+
+val is_completely_specified : t -> bool
+
+val extends : Bdd.manager -> Bdd.t -> t -> bool
+(** [extends m g f]: is the completely specified [g] an extension of [f]? *)
+
+val equal : t -> t -> bool
+(** Equality of representations (same on-set and same dc-set). *)
+
+val compatible : Bdd.manager -> t -> t -> bool
+(** Do the two ISFs admit a common extension (on-set of one never meets
+    the off-set of the other)? *)
+
+val join : Bdd.manager -> t -> t -> t
+(** Conjunction of the constraints of two compatible ISFs: the result's
+    extensions are exactly the common extensions.
+    @raise Invalid_argument if they are not compatible. *)
+
+val assign_all_zero : Bdd.manager -> t -> t
+(** The classical pessimistic assignment: every don't care becomes 0
+    (used by the [mulopII] baseline). *)
+
+val assign_all_one : Bdd.manager -> t -> t
+
+val restrict : Bdd.manager -> t -> int -> bool -> t
+(** Cofactor of both sets. *)
+
+val cofactor_vector : Bdd.manager -> t -> int list -> t array
+(** ISF counterpart of {!Bdd.cofactor_vector}. *)
+
+val swap_vars : Bdd.manager -> t -> int -> int -> t
+val negate_var : Bdd.manager -> t -> int -> t
+val support : Bdd.manager -> t -> int list
+(** Variables on which the on-set or the off-set depends. *)
+
+val random_extension : Bdd.manager -> t -> Random.State.t -> Bdd.t
+(** A random extension (each dc minterm resolved independently is too
+    expensive; this resolves dc by a random cube-wise pattern — adequate
+    for tests). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** Two-level minimization of cube covers (a compact cousin of
+    espresso's EXPAND / IRREDUNDANT loop, with BDD-backed validity
+    checks).
+
+    Used to keep the [.names] bodies of emitted BLIF small and as a
+    general service of the logic substrate.  Exact minimality is not
+    promised — cubes are expanded greedily and redundant cubes dropped
+    until a fixpoint — but the result is always a cover of the on-set
+    that stays inside on-set plus don't-care set, every cube is prime
+    w.r.t. the chosen literal order, and no cube is redundant. *)
+
+val minimize :
+  Bdd.manager ->
+  ninputs:int ->
+  on:Bdd.t ->
+  ?dc:Bdd.t ->
+  Cover.cube list ->
+  Cover.cube list
+(** [minimize m ~ninputs ~on ?dc cubes] improves [cubes] (a cover of
+    [on], allowed to dip into [dc]); columns [0 .. ninputs-1] map to BDD
+    variables of the same index.
+    @raise Invalid_argument if [cubes] does not cover [on] or leaves
+    [on \/ dc]. *)
+
+val cover_of_bdd :
+  Bdd.manager -> ninputs:int -> on:Bdd.t -> ?dc:Bdd.t -> unit -> Cover.cube list
+(** A minimized cover built from scratch (path cover of [on], then
+    {!minimize}). *)
+
+val is_cover : Bdd.manager -> ninputs:int -> on:Bdd.t -> ?dc:Bdd.t -> Cover.cube list -> bool
+(** Does the cube list cover [on] without leaving [on \/ dc]? *)

@@ -1,0 +1,148 @@
+type group = (int * bool) list
+
+let group_vars g = List.map fst g
+
+let swap_rel m f ~rel i j =
+  let swapped = Bdd.swap_vars m f i j in
+  if rel then Bdd.negate_var m (Bdd.negate_var m swapped i) j else swapped
+
+let symmetric_pair m fs ~rel i j =
+  i <> j
+  && List.for_all (fun f -> Bdd.equal f (swap_rel m f ~rel i j)) fs
+
+let symmetrize_one m f ~rel i j =
+  let sigma g = swap_rel m g ~rel i j in
+  let on = Isf.on f and off = Isf.off m f in
+  let on' = Bdd.or_ m on (sigma on) in
+  let off' = Bdd.or_ m off (sigma off) in
+  if Bdd.is_zero (Bdd.and_ m on' off') then Some (Isf.of_on_off m ~on:on' ~off:off')
+  else None
+
+let symmetrize m fs ~rel i j =
+  if i = j then None
+  else
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | f :: rest -> (
+          match symmetrize_one m f ~rel i j with
+          | Some f' -> go (f' :: acc) rest
+          | None -> None)
+    in
+    go [] fs
+
+let symmetrizable m fs ~rel i j =
+  i <> j
+  && List.for_all
+       (fun f ->
+         let sigma g = swap_rel m g ~rel i j in
+         let on = Isf.on f and off = Isf.off m f in
+         Bdd.is_zero (Bdd.and_ m on (sigma off))
+         && Bdd.is_zero (Bdd.and_ m (sigma on) off))
+       fs
+
+(* Exchange relations induced by the phases of a group: every pair of
+   members, with the xor of their phases. *)
+let group_pairs g =
+  let rec go = function
+    | [] -> []
+    | (v, pv) :: rest ->
+        List.map (fun (w, pw) -> (v, w, pv <> pw)) rest @ go rest
+  in
+  go g
+
+(* Close the function vector under all exchange relations of a group:
+   repeat the forced assignments until a fixpoint.  Terminates because
+   the care set only grows.  [None] if some pair becomes conflicting. *)
+let close m fs pairs =
+  let rec loop fs =
+    let changed = ref false in
+    let step fs (i, j, rel) =
+      match fs with
+      | None -> None
+      | Some fs -> (
+          match symmetrize m fs ~rel i j with
+          | None -> None
+          | Some fs' ->
+              if not (List.for_all2 Isf.equal fs fs') then changed := true;
+              Some fs')
+    in
+    match List.fold_left step (Some fs) pairs with
+    | None -> None
+    | Some fs' -> if !changed then loop fs' else Some fs'
+  in
+  loop fs
+
+let close_group m fs group = close m fs (group_pairs group)
+
+type result = { functions : Isf.t list; groups : group list }
+
+let maximize ?(budget = 4000) ?(use_equivalence = true) m fs vars =
+  let budget = ref budget in
+  let merge_groups fs g1 g2 q =
+    if !budget <= 0 then None
+    else begin
+      decr budget;
+      (* Cheap rejection first: every cross pair must be individually
+         symmetrizable before attempting the (quadratic) closure. *)
+      let cross_ok =
+        List.for_all
+          (fun (v, pv) ->
+            List.for_all
+              (fun (w, pw) -> symmetrizable m fs ~rel:(pv <> (pw <> q)) v w)
+              g2)
+          g1
+      in
+      if not cross_ok then None
+      else
+        let merged = g1 @ List.map (fun (w, pw) -> (w, pw <> q)) g2 in
+        match close m fs (group_pairs merged) with
+        | Some fs' -> Some (fs', merged)
+        | None -> None
+    end
+  in
+  let phases = if use_equivalence then [ false; true ] else [ false ] in
+  (* Greedy: repeatedly scan group pairs, commit the first successful
+     merge, until a full scan makes no progress or the budget is gone. *)
+  let rec grow fs groups =
+    let arr = Array.of_list groups in
+    let n = Array.length arr in
+    let found = ref None in
+    (try
+       for a = 0 to n - 1 do
+         for b = a + 1 to n - 1 do
+           List.iter
+             (fun q ->
+               if !found = None && !budget > 0 then
+                 match merge_groups fs arr.(a) arr.(b) q with
+                 | Some (fs', merged) ->
+                     found := Some (fs', merged, a, b);
+                     raise Exit
+                 | None -> ())
+             phases
+         done
+       done
+     with Exit -> ());
+    match !found with
+    | None -> (fs, groups)
+    | Some (fs', merged, a, b) ->
+        let rest =
+          List.filteri (fun idx _ -> idx <> a && idx <> b) groups
+        in
+        grow fs' (merged :: rest)
+  in
+  let singletons = List.map (fun v -> [ (v, false) ]) vars in
+  let fs', groups = grow fs singletons in
+  (* Restore the original variable order inside and across groups. *)
+  let groups =
+    groups
+    |> List.map (List.sort (fun (v, _) (w, _) -> compare v w))
+    |> List.sort (fun g1 g2 ->
+           match (g1, g2) with
+           | (v, _) :: _, (w, _) :: _ -> compare v w
+           | _, _ -> 0)
+  in
+  { functions = fs'; groups }
+
+let partition ?budget m fs vars =
+  let isfs = List.map (Isf.of_csf m) fs in
+  (maximize ?budget m isfs vars).groups

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Arith Bdd Circuits Driver Isf List Mcnc Mulop Network Printf Randnet String

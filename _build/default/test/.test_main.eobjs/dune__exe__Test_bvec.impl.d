@@ -1,0 +1,1 @@
+test/test_bvec.ml: Alcotest Array Bdd Bvec Fun List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_decomp.ml: Alcotest Array Bdd Bv Classes Clb Config Driver Encode Fun Hashtbl Isf List Network Printf QCheck2 QCheck_alcotest Random Step

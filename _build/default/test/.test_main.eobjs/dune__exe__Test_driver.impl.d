@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Arith Array Bdd Blif Bv Config Driver Fun Isf List Mulop Network Pla Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Arith Bdd Blif Clb Driver Extra Isf List Mulop Network Pla Printf String

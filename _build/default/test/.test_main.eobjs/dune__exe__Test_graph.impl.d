@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Coloring List Matching QCheck2 QCheck_alcotest Random Ugraph

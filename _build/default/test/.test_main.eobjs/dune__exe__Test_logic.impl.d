@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Bdd Bv Cover Fun Isf List Minimize QCheck2 QCheck_alcotest Random

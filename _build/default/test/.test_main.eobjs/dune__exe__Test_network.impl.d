@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Bdd Blif Bv Isf List Network Pla

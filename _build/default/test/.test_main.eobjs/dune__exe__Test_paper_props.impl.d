@@ -1,0 +1,1 @@
+test/test_paper_props.ml: Alcotest Array Bdd Bool Bv Classes Config Fun Isf List QCheck2 QCheck_alcotest Step

@@ -1,0 +1,1 @@
+test/test_reorder.ml: Alcotest Array Bdd Bv Fun List Printf QCheck2 QCheck_alcotest Random Reorder

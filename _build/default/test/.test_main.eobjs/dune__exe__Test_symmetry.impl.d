@@ -1,0 +1,1 @@
+test/test_symmetry.ml: Alcotest Array Bdd Bv Isf List QCheck2 QCheck_alcotest Random Symmetry

@@ -1,0 +1,133 @@
+(* Tests for word-level BDD arithmetic (the specification substrate of
+   the arithmetic experiments). *)
+
+let man = Bdd.manager ()
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Evaluate a Bvec under an integer assignment of the input words. *)
+let assignment_of ~a_width a b v =
+  if v < a_width then (a lsr v) land 1 = 1 else (b lsr (v - a_width)) land 1 = 1
+
+let unit_tests =
+  [
+    Alcotest.test_case "consti / to_int roundtrip" `Quick (fun () ->
+        let v = Bvec.consti man ~width:8 173 in
+        check_int "173" 173 (Bvec.to_int v (fun _ -> false)));
+    Alcotest.test_case "add with carry out" `Quick (fun () ->
+        let x = Bvec.inputs man ~first_var:0 ~width:4 in
+        let y = Bvec.inputs man ~first_var:4 ~width:4 in
+        let s = Bvec.add man x y in
+        check_int "width" 5 (Bvec.width s);
+        for a = 0 to 15 do
+          for b = 0 to 15 do
+            check_int
+              (Printf.sprintf "%d+%d" a b)
+              (a + b)
+              (Bvec.to_int s (assignment_of ~a_width:4 a b))
+          done
+        done);
+    Alcotest.test_case "add_mod wraps" `Quick (fun () ->
+        let x = Bvec.inputs man ~first_var:0 ~width:3 in
+        let y = Bvec.inputs man ~first_var:3 ~width:3 in
+        let s = Bvec.add_mod man x y in
+        check_int "6+5 mod 8" 3 (Bvec.to_int s (assignment_of ~a_width:3 6 5)));
+    Alcotest.test_case "mul exhaustive 4x4" `Quick (fun () ->
+        let x = Bvec.inputs man ~first_var:0 ~width:4 in
+        let y = Bvec.inputs man ~first_var:4 ~width:4 in
+        let p = Bvec.mul man x y in
+        check_int "width" 8 (Bvec.width p);
+        for a = 0 to 15 do
+          for b = 0 to 15 do
+            check_int
+              (Printf.sprintf "%d*%d" a b)
+              (a * b)
+              (Bvec.to_int p (assignment_of ~a_width:4 a b))
+          done
+        done);
+    Alcotest.test_case "mulc" `Quick (fun () ->
+        let x = Bvec.inputs man ~first_var:0 ~width:5 in
+        let p = Bvec.mulc man x 13 in
+        for a = 0 to 31 do
+          check_int
+            (Printf.sprintf "13*%d" a)
+            (13 * a)
+            (Bvec.to_int p (fun v -> (a lsr v) land 1 = 1))
+        done);
+    Alcotest.test_case "popcount" `Quick (fun () ->
+        let bits = List.init 7 (Bdd.var man) in
+        let w = Bvec.popcount man bits in
+        for a = 0 to 127 do
+          let expected =
+            let rec count v = if v = 0 then 0 else (v land 1) + count (v lsr 1) in
+            count a
+          in
+          check_int
+            (Printf.sprintf "weight %d" a)
+            expected
+            (Bvec.to_int w (fun v -> (a lsr v) land 1 = 1))
+        done);
+    Alcotest.test_case "ult" `Quick (fun () ->
+        let x = Bvec.inputs man ~first_var:0 ~width:3 in
+        let y = Bvec.inputs man ~first_var:3 ~width:3 in
+        let lt = Bvec.ult man x y in
+        for a = 0 to 7 do
+          for b = 0 to 7 do
+            check_bool
+              (Printf.sprintf "%d<%d" a b)
+              (a < b)
+              (Bdd.eval lt (assignment_of ~a_width:3 a b))
+          done
+        done);
+    Alcotest.test_case "equal_const / mux / extract" `Quick (fun () ->
+        let x = Bvec.inputs man ~first_var:0 ~width:4 in
+        let eq5 = Bvec.equal_const man x 5 in
+        check_bool "5 = 5" true (Bdd.eval eq5 (fun v -> v = 0 || v = 2));
+        check_bool "6 <> 5" false (Bdd.eval eq5 (fun v -> v = 1 || v = 2));
+        let hi = Bvec.extract x ~lo:2 ~hi:3 in
+        check_int "extract of 13 (1101)" 3
+          (Bvec.to_int hi (fun v -> v = 0 || v = 2 || v = 3));
+        let sel = Bdd.var man 8 in
+        let muxed = Bvec.mux man sel x (Bvec.consti man ~width:4 0) in
+        check_int "mux sel=0" 0 (Bvec.to_int muxed (fun v -> v < 4));
+        check_int "mux sel=1" 15 (Bvec.to_int muxed (fun _ -> true)));
+    Alcotest.test_case "sum of three operands" `Quick (fun () ->
+        let a = Bvec.inputs man ~first_var:0 ~width:2 in
+        let b = Bvec.inputs man ~first_var:2 ~width:2 in
+        let c = Bvec.inputs man ~first_var:4 ~width:2 in
+        let s = Bvec.sum man ~width:4 [ a; b; c ] in
+        for ia = 0 to 3 do
+          for ib = 0 to 3 do
+            for ic = 0 to 3 do
+              let assignment v =
+                if v < 2 then (ia lsr v) land 1 = 1
+                else if v < 4 then (ib lsr (v - 2)) land 1 = 1
+                else (ic lsr (v - 4)) land 1 = 1
+              in
+              check_int "3-op sum" (ia + ib + ic) (Bvec.to_int s assignment)
+            done
+          done
+        done);
+  ]
+
+let props =
+  [
+    QCheck2.Test.make ~name:"add commutes" ~count:100
+      QCheck2.Gen.(pair (int_bound 255) (int_bound 255))
+      (fun (a, b) ->
+        let x = Bvec.consti man ~width:8 a in
+        let y = Bvec.consti man ~width:8 b in
+        let s1 = Bvec.add man x y and s2 = Bvec.add man y x in
+        Array.for_all2 Bdd.equal s1 s2);
+    QCheck2.Test.make ~name:"mulc agrees with mul by constant" ~count:50
+      QCheck2.Gen.(int_range 1 15)
+      (fun c ->
+        let x = Bvec.inputs man ~first_var:0 ~width:4 in
+        let via_mulc = Bvec.mulc man x c in
+        List.for_all
+          (fun a ->
+            Bvec.to_int via_mulc (fun v -> (a lsr v) land 1 = 1) = a * c)
+          (List.init 16 Fun.id));
+  ]
+
+let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

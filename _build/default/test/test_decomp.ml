@@ -1,0 +1,356 @@
+(* Tests for the decomposition core: compatible classes, encoding,
+   single steps, the recursive driver, and CLB merging. *)
+
+let man = Bdd.manager ()
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let gen_fun n =
+  let open QCheck2.Gen in
+  let+ bits = list_size (return (1 lsl n)) bool in
+  let arr = Array.of_list bits in
+  Bv.of_fun n (fun i -> arr.(i))
+
+let gen_isf n =
+  let open QCheck2.Gen in
+  let+ cells = list_size (return (1 lsl n)) (int_range 0 2) in
+  let arr = Array.of_list cells in
+  let on = Bv.of_fun n (fun i -> arr.(i) = 1) in
+  let dc = Bv.of_fun n (fun i -> arr.(i) = 2) in
+  Isf.make man ~on:(Bv.to_bdd man on) ~dc:(Bv.to_bdd man dc)
+
+(* Brute-force ncc for a completely specified single-output function:
+   distinct rows of the bound-set table. *)
+let brute_ncc bv bound_vars total_vars =
+  let p = List.length bound_vars in
+  let free = List.filter (fun v -> not (List.mem v bound_vars)) (List.init total_vars Fun.id) in
+  let rows = Hashtbl.create 16 in
+  for bidx = 0 to (1 lsl p) - 1 do
+    let row =
+      List.init (1 lsl List.length free) (fun fidx ->
+          let assignment v =
+            match List.find_index (fun w -> w = v) bound_vars with
+            | Some k -> (bidx lsr (p - 1 - k)) land 1 = 1
+            | None -> (
+                match List.find_index (fun w -> w = v) free with
+                | Some k -> (fidx lsr k) land 1 = 1
+                | None -> false)
+          in
+          Bv.eval bv assignment)
+    in
+    Hashtbl.replace rows row ()
+  done;
+  Hashtbl.length rows
+
+let classes_tests =
+  [
+    Alcotest.test_case "ncc of an and gate" `Quick (fun () ->
+        (* f = x0x1x2x3: bound {0,1}: cofactors {0, x2x3} -> 2 classes *)
+        let f =
+          Bdd.and_list man [ Bdd.var man 0; Bdd.var man 1; Bdd.var man 2; Bdd.var man 3 ]
+        in
+        check_int "2 classes" 2 (Classes.ncc_csf man [ f ] [ 0; 1 ]));
+    Alcotest.test_case "ncc of parity is 2" `Quick (fun () ->
+        let f =
+          List.fold_left (fun acc v -> Bdd.xor man acc (Bdd.var man v)) (Bdd.zero man)
+            [ 0; 1; 2; 3; 4 ]
+        in
+        check_int "parity" 2 (Classes.ncc_csf man [ f ] [ 0; 1; 2 ]));
+    Alcotest.test_case "totally symmetric function: p+1 classes" `Quick (fun () ->
+        (* weight function on bound set of size 3: classes = weights 0..3 *)
+        let rec build v ones =
+          if v = 6 then if ones >= 3 then Bdd.one man else Bdd.zero man
+          else
+            Bdd.ite man (Bdd.var man v) (build (v + 1) (ones + 1)) (build (v + 1) ones)
+        in
+        let f = build 0 0 in
+        check_int "4 classes" 4 (Classes.ncc_csf man [ f ] [ 0; 1; 2 ]));
+    Alcotest.test_case "multi-output classes refine" `Quick (fun () ->
+        let f1 = Bdd.and_ man (Bdd.var man 0) (Bdd.var man 1) in
+        let f2 = Bdd.xor man (Bdd.var man 0) (Bdd.var man 1) in
+        let joint = Classes.ncc_csf man [ f1; f2 ] [ 0; 1 ] in
+        let n1 = Classes.ncc_csf man [ f1 ] [ 0; 1 ] in
+        let n2 = Classes.ncc_csf man [ f2 ] [ 0; 1 ] in
+        check_bool "joint >= each" true (joint >= n1 && joint >= n2);
+        check_int "joint = 3" 3 joint);
+    Alcotest.test_case "join_isfs of compatible" `Quick (fun () ->
+        let x = Bdd.var man 0 in
+        let a = Isf.make man ~on:x ~dc:(Bdd.not_ man x) in
+        let b = Isf.make man ~on:(Bdd.zero man) ~dc:x in
+        let j = Classes.join_isfs man [ a; b ] in
+        check_bool "on = x" true (Bdd.equal (Isf.on j) x);
+        check_bool "off = ~x" true (Bdd.equal (Isf.off man j) (Bdd.not_ man x)));
+  ]
+
+let classes_props =
+  [
+    QCheck2.Test.make ~name:"ncc matches brute force" ~count:100 (gen_fun 5)
+      (fun bv ->
+        let f = Bv.to_bdd man bv in
+        Classes.ncc_csf man [ f ] [ 1; 3 ] = brute_ncc bv [ 1; 3 ] 5);
+    QCheck2.Test.make ~name:"dedup node count bounds classes" ~count:100
+      (gen_isf 5)
+      (fun f ->
+        let info = Classes.cofactor_matrix man [ f ] [ 0; 2; 4 ] in
+        let nodes = Classes.nnodes info in
+        nodes >= 1 && nodes <= 8 && Classes.nvertices info = 8);
+  ]
+
+let encode_tests =
+  [
+    Alcotest.test_case "single output, 3 classes -> 2 functions" `Quick
+      (fun () ->
+        let spec =
+          { Encode.class_of_node = [| 0; 1; 2; 1 |]; nclasses = 3 }
+        in
+        let enc = Encode.encode [| spec |] in
+        check_bool "valid" true (Encode.check [| spec |] enc);
+        check_int "2 alphas" 2 (List.length (List.hd (Array.to_list enc.Encode.outputs)).Encode.alpha_ids);
+        check_int "pool 2" 2 (List.length enc.Encode.pool));
+    Alcotest.test_case "identical outputs share all functions" `Quick (fun () ->
+        let spec = { Encode.class_of_node = [| 0; 1; 2; 3 |]; nclasses = 4 } in
+        let enc = Encode.encode [| spec; spec |] in
+        check_bool "valid" true (Encode.check [| spec; spec |] enc);
+        check_int "pool = 2 (fully shared)" 2 (List.length enc.Encode.pool));
+    Alcotest.test_case "one class needs no function" `Quick (fun () ->
+        let spec = { Encode.class_of_node = [| 0; 0; 0 |]; nclasses = 1 } in
+        let enc = Encode.encode [| spec |] in
+        check_bool "valid" true (Encode.check [| spec |] enc);
+        check_int "no alphas" 0 (List.length enc.Encode.pool));
+    Alcotest.test_case "refinement sharing" `Quick (fun () ->
+        (* Output A has 4 classes {0..3}; output B distinguishes only
+           {01} vs {23}: B can reuse A's most significant function. *)
+        let a = { Encode.class_of_node = [| 0; 1; 2; 3 |]; nclasses = 4 } in
+        let b = { Encode.class_of_node = [| 0; 0; 1; 1 |]; nclasses = 2 } in
+        let enc = Encode.encode [| a; b |] in
+        check_bool "valid" true (Encode.check [| a; b |] enc);
+        check_int "pool 2: b reuses" 2 (List.length enc.Encode.pool));
+  ]
+
+let encode_props =
+  let gen_specs =
+    let open QCheck2.Gen in
+    let* nnodes = int_range 1 12 in
+    let* nouts = int_range 1 4 in
+    let+ raw =
+      list_size (return nouts) (list_size (return nnodes) (int_range 0 5))
+    in
+    List.map
+      (fun labels ->
+        (* renumber to consecutive class ids *)
+        let tbl = Hashtbl.create 8 in
+        let class_of_node =
+          Array.of_list
+            (List.map
+               (fun l ->
+                 match Hashtbl.find_opt tbl l with
+                 | Some c -> c
+                 | None ->
+                     let c = Hashtbl.length tbl in
+                     Hashtbl.add tbl l c;
+                     c)
+               labels)
+        in
+        { Encode.class_of_node; nclasses = Hashtbl.length tbl })
+      raw
+    |> Array.of_list
+  in
+  [
+    QCheck2.Test.make ~name:"encode always valid" ~count:300 gen_specs
+      (fun specs ->
+        let enc = Encode.encode specs in
+        Encode.check specs enc);
+    QCheck2.Test.make ~name:"pool size within bounds" ~count:300 gen_specs
+      (fun specs ->
+        let enc = Encode.encode specs in
+        let r oc =
+          let rec cl k c = if c >= oc.Encode.nclasses then k else cl (k + 1) (c * 2) in
+          cl 0 1
+        in
+        let rs = Array.to_list (Array.map r specs) in
+        let total = List.fold_left ( + ) 0 rs in
+        let maxr = List.fold_left max 0 rs in
+        let pool = List.length enc.Encode.pool in
+        pool >= maxr && pool <= total);
+  ]
+
+(* Single decomposition step on random multi-output ISFs: the recomposed
+   functions must extend the originals. *)
+let step_recompose_prop =
+  let cfg = Config.mulop_dc in
+  let gen =
+    let open QCheck2.Gen in
+    let* nouts = int_range 1 3 in
+    list_size (return nouts) (gen_isf 5)
+  in
+  QCheck2.Test.make ~name:"step: g composed with alphas extends f" ~count:100 gen
+    (fun isfs ->
+      let isfs = Array.of_list isfs in
+      let next = ref 5 in
+      let fresh_var () =
+        let v = !next in
+        incr next;
+        v
+      in
+      let bound = [ 0; 1; 2 ] in
+      let result = Step.run man cfg ~fresh_var isfs ~bound in
+      (* Substitute alphas back into g and compare with the original. *)
+      Array.for_all2
+        (fun f g ->
+          let subst =
+            List.map (fun a -> (a.Step.var, a.Step.func)) result.Step.alphas
+          in
+          let g_on = Bdd.vector_compose man (Isf.on g) subst in
+          let g_off = Bdd.vector_compose man (Isf.off man g) subst in
+          (* g extends f: on(f) implies on-composed, off(f) implies off-composed *)
+          Bdd.is_zero (Bdd.diff man (Isf.on f) g_on)
+          && Bdd.is_zero (Bdd.diff man (Isf.off man f) g_off))
+        isfs result.Step.g)
+
+let step_tests =
+  [
+    Alcotest.test_case "step on an adder slice shares alphas" `Quick (fun () ->
+        (* two outputs: sum and carry of (x0,x1) ripple into x2, x3:
+           s = x0 + x1 + x2 functions... simply check r and sharing on
+           f1 = maj(x0,x1,x2), f2 = x0 xor x1 xor x2, bound {0,1} *)
+        let x0 = Bdd.var man 0 and x1 = Bdd.var man 1 and x2 = Bdd.var man 2 in
+        let maj =
+          Bdd.or_list man
+            [ Bdd.and_ man x0 x1; Bdd.and_ man x0 x2; Bdd.and_ man x1 x2 ]
+        in
+        let par = Bdd.xor man (Bdd.xor man x0 x1) x2 in
+        let isfs = [| Isf.of_csf man maj; Isf.of_csf man par |] in
+        let next = ref 3 in
+        let fresh_var () = let v = !next in incr next; v in
+        let result = Step.run man Config.mulop_dc ~fresh_var isfs ~bound:[ 0; 1 ] in
+        (* maj has classes {0, x2, 1} = 3 -> r=2; parity has 2 -> r=1;
+           parity's single alpha (xor) can be one of maj's two. *)
+        check_int "r maj" 2 result.Step.r.(0);
+        check_int "r par" 1 result.Step.r.(1);
+        check_int "3 shared alphas would be unshared; expect 2" 2
+          (List.length result.Step.alphas));
+    Alcotest.test_case "joint lower bound reported" `Quick (fun () ->
+        let f = Bdd.and_ man (Bdd.var man 0) (Bdd.var man 1) in
+        let isfs = [| Isf.of_csf man f |] in
+        let next = ref 2 in
+        let fresh_var () = let v = !next in incr next; v in
+        let result = Step.run man Config.mulop_dc ~fresh_var isfs ~bound:[ 0; 1 ] in
+        check_int "2 joint classes" 2 result.Step.joint_classes;
+        check_int "lower bound 1" 1 (Step.total_alpha_lower_bound result));
+  ]
+
+(* Full driver on random functions: network must realize an extension. *)
+let driver_props =
+  [
+    QCheck2.Test.make ~name:"driver: network extends random csf (lut 3)"
+      ~count:60
+      (QCheck2.Gen.pair (gen_fun 6) (gen_fun 6))
+      (fun (b1, b2) ->
+        let spec =
+          Driver.spec_of_csf man
+            (List.init 6 (Printf.sprintf "x%d"))
+            [ ("f", Bv.to_bdd man b1); ("g", Bv.to_bdd man b2) ]
+        in
+        let cfg = Config.with_lut_size 3 Config.mulop_dc in
+        let net = Driver.decompose ~cfg man spec in
+        Driver.verify man spec net);
+    QCheck2.Test.make ~name:"driver: random isf (lut 4), all algorithms"
+      ~count:40 (gen_isf 6)
+      (fun isf ->
+        let spec =
+          {
+            Driver.input_names = List.init 6 (Printf.sprintf "x%d");
+            functions = [ ("f", isf) ];
+          }
+        in
+        List.for_all
+          (fun cfg ->
+            let cfg = Config.with_lut_size 4 cfg in
+            let net = Driver.decompose ~cfg man spec in
+            Driver.verify man spec net
+            && (Network.stats net).Network.max_fanin <= 4)
+          [ Config.mulop_dc; Config.mulop_ii ]);
+    QCheck2.Test.make ~name:"mulop-dc never uses more LUTs than budget"
+      ~count:30 (gen_fun 6)
+      (fun bv ->
+        (* sanity: a 6-var function needs at most 3 LUTs of 5 inputs
+           (Shannon w.r.t. one variable + mux merge); allow slack *)
+        let spec =
+          Driver.spec_of_csf man
+            (List.init 6 (Printf.sprintf "x%d"))
+            [ ("f", Bv.to_bdd man bv) ]
+        in
+        let net = Driver.decompose man spec in
+        (Network.stats net).Network.lut_count <= 4);
+  ]
+
+let clb_tests =
+  [
+    Alcotest.test_case "clb merge legality" `Quick (fun () ->
+        let net = Network.create () in
+        let xs = List.init 8 (fun k -> Network.add_input net (Printf.sprintf "x%d" k)) in
+        let arr = Array.of_list xs in
+        (* two 4-input LUTs over disjoint inputs: NOT mergeable (8 > 5) *)
+        let tt4 = Bv.of_fun 4 (fun i -> i land 1 = 1 || i = 14) in
+        let l1 = Network.add_lut net ~fanins:[ arr.(0); arr.(1); arr.(2); arr.(3) ] ~tt:tt4 in
+        let l2 = Network.add_lut net ~fanins:[ arr.(4); arr.(5); arr.(6); arr.(7) ] ~tt:tt4 in
+        (* two 3-input LUTs sharing an input: mergeable (5 distinct) *)
+        let tt3 = Bv.of_fun 3 (fun i -> i = 3 || i = 5) in
+        let l3 = Network.add_lut net ~fanins:[ arr.(0); arr.(1); arr.(2) ] ~tt:tt3 in
+        let l4 = Network.add_lut net ~fanins:[ arr.(2); arr.(4); arr.(5) ] ~tt:tt3 in
+        Network.set_output net "a" l1;
+        Network.set_output net "b" l2;
+        Network.set_output net "c" l3;
+        Network.set_output net "d" l4;
+        check_bool "disjoint 4+4 not mergeable" false (Clb.mergeable net l1 l2);
+        check_bool "3+3 sharing mergeable" true (Clb.mergeable net l3 l4);
+        (* l1+l3 share {x0,x1,x2} (4 distinct) and l2+l4 share {x4,x5}
+           (5 distinct): a perfect matching of the four LUTs exists *)
+        check_bool "l1+l3 mergeable" true (Clb.mergeable net l1 l3);
+        check_bool "l2+l4 mergeable" true (Clb.mergeable net l2 l4);
+        let clbs = Clb.clb_count Clb.Max_matching net in
+        check_int "4 luts, perfect matching -> 2 clbs" 2 clbs);
+    Alcotest.test_case "5-input lut never merges" `Quick (fun () ->
+        let net = Network.create () in
+        let xs = Array.init 5 (fun k -> Network.add_input net (Printf.sprintf "x%d" k)) in
+        let tt5 = Bv.of_fun 5 (fun i -> i mod 3 = 0) in
+        let l1 = Network.add_lut net ~fanins:(Array.to_list xs) ~tt:tt5 in
+        let tt2 = Bv.of_fun 2 (fun i -> i = 3) in
+        let l2 = Network.add_lut net ~fanins:[ xs.(0); xs.(1) ] ~tt:tt2 in
+        Network.set_output net "a" l1;
+        Network.set_output net "b" l2;
+        check_bool "not mergeable" false (Clb.mergeable net l1 l2);
+        check_int "2 clbs" 2 (Clb.clb_count Clb.Max_matching net));
+    Alcotest.test_case "matching merge never worse than first fit" `Quick
+      (fun () ->
+        let st = Random.State.make [| 11 |] in
+        for _ = 1 to 10 do
+          let net = Network.create () in
+          let xs =
+            Array.init 10 (fun k -> Network.add_input net (Printf.sprintf "x%d" k))
+          in
+          for o = 0 to 12 do
+            let k = 2 + Random.State.int st 3 in
+            let fanins =
+              List.init k (fun _ -> xs.(Random.State.int st 10))
+              |> List.sort_uniq compare
+            in
+            let arity = List.length fanins in
+            let tt =
+              Bv.of_fun arity (fun i ->
+                  i = 0 || Random.State.bool st)
+            in
+            Network.set_output net (Printf.sprintf "z%d" o)
+              (Network.add_lut net ~fanins ~tt)
+          done;
+          Alcotest.(check bool)
+            "matching <= first fit" true
+            (Clb.clb_count Clb.Max_matching net <= Clb.clb_count Clb.First_fit net)
+        done);
+  ]
+
+let suite =
+  classes_tests @ encode_tests @ step_tests @ clb_tests
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      (classes_props @ encode_props @ [ step_recompose_prop ] @ driver_props)

@@ -1,0 +1,164 @@
+(* Edge cases and adversarial inputs for the recursive driver. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let names n = List.init n (Printf.sprintf "x%d")
+
+let unit_tests =
+  [
+    Alcotest.test_case "constant outputs" `Quick (fun () ->
+        let m = Bdd.manager () in
+        let spec =
+          Driver.spec_of_csf m (names 3)
+            [ ("t", Bdd.one m); ("f", Bdd.zero m) ]
+        in
+        let net = Driver.decompose m spec in
+        check_bool "verified" true (Driver.verify m spec net);
+        check_int "no luts" 0 (Network.stats net).Network.lut_count);
+    Alcotest.test_case "output = input wire" `Quick (fun () ->
+        let m = Bdd.manager () in
+        let spec = Driver.spec_of_csf m (names 2) [ ("w", Bdd.var m 1) ] in
+        let net = Driver.decompose m spec in
+        check_bool "verified" true (Driver.verify m spec net);
+        check_int "no luts" 0 (Network.stats net).Network.lut_count);
+    Alcotest.test_case "duplicate output functions share a LUT" `Quick
+      (fun () ->
+        let m = Bdd.manager () in
+        let f = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+        let spec = Driver.spec_of_csf m (names 2) [ ("a", f); ("b", f) ] in
+        let net = Driver.decompose m spec in
+        check_bool "verified" true (Driver.verify m spec net);
+        check_int "one lut" 1 (Network.stats net).Network.lut_count);
+    Alcotest.test_case "wide parity at lut 2 stays linear" `Quick (fun () ->
+        (* parity decomposes perfectly: n-1 xor gates expected, small
+           slack allowed *)
+        let m = Bdd.manager () in
+        let n = 10 in
+        let f =
+          List.fold_left
+            (fun acc v -> Bdd.xor m acc (Bdd.var m v))
+            (Bdd.zero m)
+            (List.init n Fun.id)
+        in
+        let cfg = Config.with_lut_size 2 Config.mulop_dc in
+        let spec = Driver.spec_of_csf m (names n) [ ("p", f) ] in
+        let net = Driver.decompose ~cfg m spec in
+        check_bool "verified" true (Driver.verify m spec net);
+        check_bool "linear size" true
+          ((Network.stats net).Network.lut_count <= 2 * n));
+    Alcotest.test_case "fully dc output costs nothing" `Quick (fun () ->
+        let m = Bdd.manager () in
+        let isf = Isf.make m ~on:(Bdd.zero m) ~dc:(Bdd.one m) in
+        let spec =
+          { Driver.input_names = names 4; functions = [ ("any", isf) ] }
+        in
+        let net = Driver.decompose m spec in
+        check_bool "verified" true (Driver.verify m spec net);
+        check_int "no luts" 0 (Network.stats net).Network.lut_count);
+    Alcotest.test_case "isf spec: dc exploited across outputs" `Quick
+      (fun () ->
+        (* f1 on = x0x1x2x3x4x5, f2 differs from f1 only on dc points:
+           both can collapse to the same function *)
+        let m = Bdd.manager () in
+        let f = Bdd.and_list m (List.init 6 (Bdd.var m)) in
+        let g_on = Bdd.and_ m f (Bdd.var m 0) in
+        let dc = Bdd.diff m (Bdd.var m 0) f in
+        let spec =
+          {
+            Driver.input_names = names 6;
+            functions =
+              [
+                ("f1", Isf.of_csf m f);
+                ("f2", Isf.make m ~on:g_on ~dc);
+              ];
+          }
+        in
+        let net = Driver.decompose m spec in
+        check_bool "verified" true (Driver.verify m spec net);
+        (* f2 can be realized as f1: 2 LUTs suffice for the and-6 *)
+        check_bool "sharing happened" true
+          ((Network.stats net).Network.lut_count <= 3));
+    Alcotest.test_case "report counters are consistent" `Quick (fun () ->
+        let m = Bdd.manager () in
+        let spec = Arith.adder m ~bits:3 in
+        let cfg = Config.with_lut_size 3 Config.mulop_dc in
+        let r = Driver.decompose_report ~cfg m spec in
+        check_bool "steps happened" true (r.Driver.step_count >= 1);
+        check_bool "alphas counted" true (r.Driver.alpha_count >= 0);
+        check_bool "verified" true (Driver.verify m spec r.Driver.network));
+    Alcotest.test_case "pla isf end-to-end" `Quick (fun () ->
+        let m = Bdd.manager () in
+        let pla =
+          Pla.parse
+            ".i 6\n.o 2\n.type fd\n11---- 1-\n--11-- -1\n000000 --\n1-1-1- -1\n.e\n"
+        in
+        let isfs = Pla.to_isfs m ~var_of_column:(fun k -> k) pla in
+        let spec = { Driver.input_names = names 6; functions = isfs } in
+        List.iter
+          (fun alg ->
+            let o = Mulop.run m alg spec in
+            check_bool
+              (Mulop.algorithm_name alg ^ " verified")
+              true
+              (Driver.verify m spec o.Mulop.network))
+          [ Mulop.Mulop_ii; Mulop.Mulop_dc; Mulop.Mulop_dc_ii ]);
+    Alcotest.test_case "lut size 2 through 6 all verify" `Quick (fun () ->
+        let m = Bdd.manager () in
+        let spec = Arith.rd m ~inputs:6 in
+        List.iter
+          (fun k ->
+            let cfg = Config.with_lut_size k Config.mulop_dc in
+            let net = Driver.decompose ~cfg m spec in
+            check_bool (Printf.sprintf "k=%d" k) true (Driver.verify m spec net);
+            check_bool
+              (Printf.sprintf "k=%d fanin bound" k)
+              true
+              ((Network.stats net).Network.max_fanin <= k))
+          [ 2; 3; 4; 5; 6 ]);
+    Alcotest.test_case "blif of decomposed network parses back" `Quick
+      (fun () ->
+        let m = Bdd.manager () in
+        let spec = Arith.z4ml m in
+        let net = Driver.decompose m spec in
+        let net2 = Blif.parse (Blif.print ~model:"z4ml" net) in
+        check_bool "roundtrip equivalent" true (Network.equivalent net net2));
+  ]
+
+let props =
+  let gen_fun n =
+    let open QCheck2.Gen in
+    let+ bits = list_size (return (1 lsl n)) bool in
+    let arr = Array.of_list bits in
+    Bv.of_fun n (fun i -> arr.(i))
+  in
+  [
+    QCheck2.Test.make ~name:"three outputs, lut 2, always verified" ~count:25
+      (QCheck2.Gen.triple (gen_fun 5) (gen_fun 5) (gen_fun 5))
+      (fun (b1, b2, b3) ->
+        let m = Bdd.manager () in
+        let spec =
+          Driver.spec_of_csf m (names 5)
+            [
+              ("f", Bv.to_bdd m b1); ("g", Bv.to_bdd m b2); ("h", Bv.to_bdd m b3);
+            ]
+        in
+        let cfg = Config.with_lut_size 2 Config.mulop_dc in
+        let net = Driver.decompose ~cfg m spec in
+        Driver.verify m spec net
+        && (Network.stats net).Network.max_fanin <= 2);
+    QCheck2.Test.make ~name:"mulop-dc never exceeds mux-tree size bound"
+      ~count:25 (gen_fun 6)
+      (fun bv ->
+        (* a BDD-sized mux network is always achievable, so the driver
+           should never blow past it by more than a constant factor *)
+        let m = Bdd.manager () in
+        let f = Bv.to_bdd m bv in
+        let spec = Driver.spec_of_csf m (names 6) [ ("f", f) ] in
+        let cfg = Config.with_lut_size 3 Config.mulop_dc in
+        let net = Driver.decompose ~cfg m spec in
+        Driver.verify m spec net
+        && (Network.stats net).Network.lut_count <= (2 * Bdd.size f) + 4);
+  ]
+
+let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

@@ -1,0 +1,131 @@
+(* Tests for the extra benchmark functions and deeper integration paths:
+   decomposition quality bounds on structured functions, PLA don't-care
+   flow, and DOT/BLIF output sanity on decomposed networks. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let decompose_verified ?(lut = 5) m spec alg =
+  let o = Mulop.run ~lut_size:lut m alg spec in
+  check_bool "verified" true (Driver.verify m spec o.Mulop.network);
+  o
+
+let quality_tests =
+  [
+    Alcotest.test_case "rd53 semantics and decomposition" `Quick (fun () ->
+        let m = Bdd.manager () in
+        let spec = Extra.rd53 m in
+        (* weight of 10101 is 3 *)
+        let out =
+          List.map
+            (fun (n, isf) -> (n, Bdd.eval (Isf.on isf) (fun v -> v mod 2 = 0)))
+            spec.Driver.functions
+        in
+        check_bool "bit0" true (List.assoc "f0" out);
+        check_bool "bit1" true (List.assoc "f1" out);
+        check_bool "bit2" false (List.assoc "f2" out);
+        ignore (decompose_verified m spec Mulop.Mulop_dc));
+    Alcotest.test_case "t481-like is highly decomposable" `Quick (fun () ->
+        (* product of 8 xnor pairs over 16 inputs: the decomposition
+           should find the pair structure and stay near-linear *)
+        let m = Bdd.manager () in
+        let spec = Extra.t481_like m in
+        let o = decompose_verified m spec Mulop.Mulop_dc in
+        check_bool
+          (Printf.sprintf "small (%d luts)" o.Mulop.lut_count)
+          true (o.Mulop.lut_count <= 8));
+    Alcotest.test_case "parity stays linear at every lut size" `Quick
+      (fun () ->
+        let m = Bdd.manager () in
+        let spec = Extra.parity m ~inputs:12 in
+        List.iter
+          (fun lut ->
+            let o = decompose_verified ~lut m spec Mulop.Mulop_dc in
+            check_bool
+              (Printf.sprintf "k=%d: %d luts" lut o.Mulop.lut_count)
+              true
+              (o.Mulop.lut_count <= 12))
+          [ 2; 3; 5 ]);
+    Alcotest.test_case "majority of 9 semantics" `Quick (fun () ->
+        let m = Bdd.manager () in
+        let spec = Extra.majority m ~inputs:9 in
+        let f =
+          match spec.Driver.functions with
+          | [ (_, isf) ] -> Isf.on isf
+          | _ -> Alcotest.fail "arity"
+        in
+        check_bool "5 of 9" true (Bdd.eval f (fun v -> v < 5));
+        check_bool "4 of 9" false (Bdd.eval f (fun v -> v < 4));
+        ignore (decompose_verified m spec Mulop.Mulop_dc));
+    Alcotest.test_case "every extra entry decomposes and verifies" `Slow
+      (fun () ->
+        List.iter
+          (fun (name, build) ->
+            let m = Bdd.manager () in
+            let spec = build m in
+            let o = decompose_verified m spec Mulop.Mulop_dc in
+            check_bool (name ^ " nonneg") true (o.Mulop.clb_count >= 0))
+          Extra.catalogue);
+  ]
+
+let flow_tests =
+  [
+    Alcotest.test_case "pla with dc: dc is actually exploited" `Quick
+      (fun () ->
+        (* A function whose on-set needs 2 LUT levels but collapses to a
+           single wire under the right dc assignment. *)
+        let m = Bdd.manager () in
+        let text =
+          ".i 6\n.o 1\n.type fd\n1----- 1\n-11111 -\n0----- 0\n.e\n"
+        in
+        let pla = Pla.parse text in
+        let isfs = Pla.to_isfs m ~var_of_column:(fun k -> k) pla in
+        let spec =
+          {
+            Driver.input_names = List.init 6 (Printf.sprintf "x%d");
+            functions = isfs;
+          }
+        in
+        let o = Mulop.run m Mulop.Mulop_dc spec in
+        check_bool "verified" true (Driver.verify m spec o.Mulop.network);
+        (* with dc -> x0, the function is just a wire: zero LUTs *)
+        check_int "zero luts (wire)" 0 o.Mulop.lut_count);
+    Alcotest.test_case "decomposed network DOT export" `Quick (fun () ->
+        let m = Bdd.manager () in
+        let spec = Extra.rd53 m in
+        let o = Mulop.run m Mulop.Mulop_dc spec in
+        let dot = Network.to_dot o.Mulop.network in
+        check_bool "digraph" true (String.length dot > 20);
+        let contains_lut =
+          let rec scan i =
+            i + 3 <= String.length dot
+            && (String.sub dot i 3 = "LUT" || scan (i + 1))
+          in
+          scan 0
+        in
+        check_bool "has luts" true contains_lut);
+    Alcotest.test_case "blif of every algorithm roundtrips" `Slow (fun () ->
+        let m = Bdd.manager () in
+        let spec = Arith.clip m in
+        List.iter
+          (fun alg ->
+            let o = Mulop.run m alg spec in
+            let net2 = Blif.parse (Blif.print o.Mulop.network) in
+            check_bool
+              (Mulop.algorithm_name alg)
+              true
+              (Network.equivalent o.Mulop.network net2))
+          [ Mulop.Mulop_ii; Mulop.Mulop_dc; Mulop.Mulop_dc_ii ]);
+    Alcotest.test_case "clb pairs are legal on a real decomposition" `Quick
+      (fun () ->
+        let m = Bdd.manager () in
+        let spec = Arith.f51m m in
+        let o = Mulop.run m Mulop.Mulop_dc_ii spec in
+        let net = o.Mulop.network in
+        List.iter
+          (fun (a, b) ->
+            check_bool "mergeable pair" true (Clb.mergeable net a b))
+          (Clb.pairs Clb.Max_matching net));
+  ]
+
+let suite = quality_tests @ flow_tests

@@ -1,0 +1,154 @@
+(* Tests for the graph substrate: coloring and blossom matching, checked
+   against exhaustive brute force on small random graphs. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Exhaustive maximum matching size by trying all subsets of edges. *)
+let brute_matching_size g =
+  let es = Array.of_list (Ugraph.edges g) in
+  let best = ref 0 in
+  let used = Array.make (Ugraph.n g) false in
+  (* take-or-skip on each edge *)
+  let rec go idx count =
+    if idx = Array.length es then best := max !best count
+    else begin
+      let i, j = es.(idx) in
+      if (not used.(i)) && not used.(j) then begin
+        used.(i) <- true;
+        used.(j) <- true;
+        go (idx + 1) (count + 1);
+        used.(i) <- false;
+        used.(j) <- false
+      end;
+      go (idx + 1) count
+    end
+  in
+  go 0 0;
+  !best
+
+(* Exhaustive chromatic number for tiny graphs. *)
+let brute_chromatic g =
+  let size = Ugraph.n g in
+  if size = 0 then 0
+  else
+    let colors = Array.make size (-1) in
+    let rec feasible k idx =
+      if idx = size then true
+      else
+        let ok = ref false in
+        let c = ref 0 in
+        while (not !ok) && !c < k do
+          if List.for_all (fun w -> colors.(w) <> !c) (Ugraph.neighbours g idx)
+          then begin
+            colors.(idx) <- !c;
+            if feasible k (idx + 1) then ok := true;
+            colors.(idx) <- -1
+          end;
+          incr c
+        done;
+        !ok
+    in
+    let rec find k = if feasible k 0 then k else find (k + 1) in
+    find 1
+
+let unit_tests =
+  [
+    Alcotest.test_case "triangle needs 3 colors" `Quick (fun () ->
+        let g = Ugraph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+        check_int "dsatur" 3 (Coloring.color_count (Coloring.dsatur g));
+        check_bool "proper" true (Coloring.is_proper g (Coloring.dsatur g)));
+    Alcotest.test_case "even cycle is 2-chromatic (exact)" `Quick (fun () ->
+        let g = Ugraph.of_edges 6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ] in
+        match Coloring.exact g with
+        | Some colors ->
+            check_int "chromatic" 2 (Coloring.color_count colors);
+            check_bool "proper" true (Coloring.is_proper g colors)
+        | None -> Alcotest.fail "exact gave up on a 6-cycle");
+    Alcotest.test_case "odd cycle matching (blossom case)" `Quick (fun () ->
+        (* A 5-cycle has maximum matching 2; a naive bipartite augmenter
+           can get stuck, the blossom algorithm must not. *)
+        let g = Ugraph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+        let mm = Matching.maximum g in
+        check_bool "is matching" true (Matching.is_matching g mm);
+        check_int "size" 2 (Matching.size mm));
+    Alcotest.test_case "two triangles joined: matching 3" `Quick (fun () ->
+        let g =
+          Ugraph.of_edges 6
+            [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5); (2, 3) ]
+        in
+        check_int "size" 3 (Matching.size (Matching.maximum g)));
+    Alcotest.test_case "petersen graph has a perfect matching" `Quick (fun () ->
+        let outer = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+        let spokes = [ (0, 5); (1, 6); (2, 7); (3, 8); (4, 9) ] in
+        let inner = [ (5, 7); (7, 9); (9, 6); (6, 8); (8, 5) ] in
+        let g = Ugraph.of_edges 10 (outer @ spokes @ inner) in
+        check_int "perfect" 5 (Matching.size (Matching.maximum g)));
+    Alcotest.test_case "complement" `Quick (fun () ->
+        let g = Ugraph.of_edges 4 [ (0, 1) ] in
+        let c = Ugraph.complement g in
+        check_bool "no 01" false (Ugraph.has_edge c 0 1);
+        check_bool "02" true (Ugraph.has_edge c 0 2);
+        check_int "edges" 5 (List.length (Ugraph.edges c)));
+    Alcotest.test_case "greedy matching is maximal" `Quick (fun () ->
+        let st = Random.State.make [| 3 |] in
+        let g = Ugraph.random 12 0.3 st in
+        let mm = Matching.greedy g in
+        check_bool "is matching" true (Matching.is_matching g mm);
+        let matched = Array.make 12 false in
+        List.iter
+          (fun (i, j) ->
+            matched.(i) <- true;
+            matched.(j) <- true)
+          mm;
+        (* maximal: no edge with both endpoints free *)
+        check_bool "maximal" true
+          (List.for_all
+             (fun (i, j) -> matched.(i) || matched.(j))
+             (Ugraph.edges g)));
+  ]
+
+let props =
+  let gen_graph nmax =
+    let open QCheck2.Gen in
+    let* size = int_range 1 nmax in
+    let* p = float_range 0.0 1.0 in
+    let+ seed = int_bound 1_000_000 in
+    (size, p, seed)
+  in
+  [
+    QCheck2.Test.make ~name:"blossom matches brute force" ~count:150
+      (gen_graph 9)
+      (fun (size, p, seed) ->
+        let g = Ugraph.random size p (Random.State.make [| seed |]) in
+        let mm = Matching.maximum g in
+        Matching.is_matching g mm && Matching.size mm = brute_matching_size g);
+    QCheck2.Test.make ~name:"exact coloring matches brute force" ~count:80
+      (gen_graph 7)
+      (fun (size, p, seed) ->
+        let g = Ugraph.random size p (Random.State.make [| seed |]) in
+        match Coloring.exact g with
+        | None -> true
+        | Some colors ->
+            Coloring.is_proper g colors
+            && Coloring.color_count colors = brute_chromatic g);
+    QCheck2.Test.make ~name:"dsatur is proper and >= chromatic" ~count:100
+      (gen_graph 8)
+      (fun (size, p, seed) ->
+        let g = Ugraph.random size p (Random.State.make [| seed |]) in
+        let colors = Coloring.dsatur g in
+        Coloring.is_proper g colors
+        && Coloring.color_count colors >= brute_chromatic g);
+    QCheck2.Test.make ~name:"greedy coloring proper in any order" ~count:100
+      (gen_graph 10)
+      (fun (size, p, seed) ->
+        let g = Ugraph.random size p (Random.State.make [| seed |]) in
+        let order = List.init size (fun v -> size - 1 - v) in
+        Coloring.is_proper g (Coloring.greedy g order));
+    QCheck2.Test.make ~name:"blossom >= greedy" ~count:100 (gen_graph 14)
+      (fun (size, p, seed) ->
+        let g = Ugraph.random size p (Random.State.make [| seed |]) in
+        Matching.size (Matching.maximum g) >= Matching.size (Matching.greedy g));
+  ]
+
+let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

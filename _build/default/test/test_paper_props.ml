@@ -1,0 +1,145 @@
+(* Property tests for the paper's structural theorems:
+
+   - Section 4: strict decomposition functions preserve symmetries —
+     if f is symmetric in a pair of bound variables, every decomposition
+     function our step produces is symmetric in that pair.
+   - Section 5: codes that do not occur in the image of alpha are don't
+     cares of the composition function g.
+   - Section 5, step 2: ceil(log2 ncc(f,B)) is a lower bound on the
+     total number of decomposition functions, and at most the sum of the
+     per-output numbers.
+   - Section 5, step 3: the per-output assignment cannot increase the
+     joint lower bound. *)
+
+let man = Bdd.manager ()
+let check_bool = Alcotest.(check bool)
+
+let gen_fun n =
+  let open QCheck2.Gen in
+  let+ bits = list_size (return (1 lsl n)) bool in
+  let arr = Array.of_list bits in
+  Bv.of_fun n (fun i -> arr.(i))
+
+let fresh_var_gen () =
+  let next = ref (-1000) in
+  fun () ->
+    let v = !next in
+    decr next;
+    v
+
+(* Symmetrize a random function in variables 0 and 1 by construction. *)
+let symmetric_in_01 bv =
+  let n = Bv.nvars bv in
+  Bv.of_fun n (fun i ->
+      let b0 = i land 1 and b1 = (i lsr 1) land 1 in
+      let lo = min b0 b1 and hi = max b0 b1 in
+      Bv.get bv (i land lnot 3 lor lo lor (hi lsl 1)))
+
+let props =
+  [
+    QCheck2.Test.make ~name:"strict alphas preserve bound-set symmetries"
+      ~count:100 (gen_fun 5)
+      (fun bv ->
+        let bv = symmetric_in_01 bv in
+        let f = Bv.to_bdd man bv in
+        (* f is symmetric in (0,1); bound = {0,1,2} *)
+        let isfs = [| Isf.of_csf man f |] in
+        let result =
+          Step.run man Config.mulop_dc ~fresh_var:(fresh_var_gen ()) isfs
+            ~bound:[ 0; 1; 2 ]
+        in
+        List.for_all
+          (fun a -> Bdd.equal a.Step.func (Bdd.swap_vars man a.Step.func 0 1))
+          result.Step.alphas);
+    QCheck2.Test.make ~name:"unused codes are don't cares of g" ~count:100
+      (gen_fun 5)
+      (fun bv ->
+        let f = Bv.to_bdd man bv in
+        let isfs = [| Isf.of_csf man f |] in
+        let result =
+          Step.run man Config.mulop_dc ~fresh_var:(fresh_var_gen ()) isfs
+            ~bound:[ 0; 1; 2 ]
+        in
+        match result.Step.alphas with
+        | [] -> true
+        | alphas ->
+            let g = result.Step.g.(0) in
+            let vars = List.map (fun a -> a.Step.var) alphas in
+            let image_codes =
+              (* codes reachable as alpha(vertex) *)
+              List.init 8 (fun vertex ->
+                  List.fold_left
+                    (fun acc a ->
+                      let bit =
+                        Bdd.eval a.Step.func (fun v ->
+                            (* bound vars are 0,1,2; vertex bit for var v
+                               with list [0;1;2]: first var = MSB *)
+                            (vertex lsr (2 - v)) land 1 = 1)
+                      in
+                      (acc lsl 1) lor Bool.to_int bit)
+                    0 alphas)
+              |> List.sort_uniq compare
+            in
+            List.for_all
+              (fun code ->
+                if List.mem code image_codes then true
+                else begin
+                  (* the whole cofactor of g at this code must be dc *)
+                  let assign =
+                    List.mapi
+                      (fun k v ->
+                        (v, (code lsr (List.length vars - 1 - k)) land 1 = 1))
+                      vars
+                  in
+                  let dc_cof =
+                    List.fold_left
+                      (fun acc (v, b) -> Bdd.restrict man acc v b)
+                      (Isf.dc g) assign
+                  in
+                  Bdd.is_one dc_cof
+                end)
+              (List.init (1 lsl List.length vars) Fun.id));
+    QCheck2.Test.make ~name:"joint lower bound brackets the alpha count"
+      ~count:100
+      (QCheck2.Gen.pair (gen_fun 5) (gen_fun 5))
+      (fun (b1, b2) ->
+        let isfs = [| Isf.of_csf man (Bv.to_bdd man b1); Isf.of_csf man (Bv.to_bdd man b2) |] in
+        let result =
+          Step.run man Config.mulop_dc ~fresh_var:(fresh_var_gen ()) isfs
+            ~bound:[ 0; 2; 4 ]
+        in
+        let total = List.length result.Step.alphas in
+        let sum_r = Array.fold_left ( + ) 0 result.Step.r in
+        let lower = Step.total_alpha_lower_bound result in
+        lower <= total && total <= sum_r);
+    QCheck2.Test.make ~name:"per-output r matches ceil(log2 K) and r <= |B|"
+      ~count:100 (gen_fun 6)
+      (fun bv ->
+        let f = Bv.to_bdd man bv in
+        let isfs = [| Isf.of_csf man f |] in
+        let result =
+          Step.run man Config.mulop_dc ~fresh_var:(fresh_var_gen ()) isfs
+            ~bound:[ 0; 1; 2; 3 ]
+        in
+        result.Step.r.(0) <= 4);
+    QCheck2.Test.make
+      ~name:"dc exploitation never exceeds the csf class count" ~count:100
+      (QCheck2.Gen.pair (gen_fun 5) (gen_fun 5))
+      (fun (on_bv, dc_sel) ->
+        (* an ISF whose dc set is carved out of the on/off sets *)
+        let on0 = Bv.to_bdd man on_bv in
+        let dc = Bv.to_bdd man dc_sel in
+        let on = Bdd.diff man on0 dc in
+        let isf = Isf.make man ~on ~dc in
+        let bound = [ 0; 1; 2 ] in
+        let result =
+          Step.run man Config.mulop_dc ~fresh_var:(fresh_var_gen ()) [| isf |]
+            ~bound
+        in
+        (* the dc-exploited class count is at most the count of the
+           arbitrary extension on0 *)
+        let csf_classes = Classes.ncc_csf man [ on0 ] bound in
+        result.Step.joint_classes <= csf_classes);
+  ]
+
+let suite = List.map (QCheck_alcotest.to_alcotest ~long:false) props

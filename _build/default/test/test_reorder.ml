@@ -1,0 +1,145 @@
+(* Tests for Bdd.rename and the variable-order search. *)
+
+let man = Bdd.manager ()
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let gen_fun n =
+  let open QCheck2.Gen in
+  let+ bits = list_size (return (1 lsl n)) bool in
+  let arr = Array.of_list bits in
+  Bv.of_fun n (fun i -> arr.(i))
+
+(* The classic order-sensitive function: x0 x(n/2) + x1 x(n/2+1) + ...
+   is linear when pairs are adjacent and exponential when interleaved
+   badly. *)
+let pairs_fun k =
+  (* f = OR of x_i /\ x_{k+i}; variables 0..2k-1 *)
+  Bdd.or_list man
+    (List.init k (fun i -> Bdd.and_ man (Bdd.var man i) (Bdd.var man (k + i))))
+
+let unit_tests =
+  [
+    Alcotest.test_case "rename by shift" `Quick (fun () ->
+        let f = Bdd.and_ man (Bdd.var man 0) (Bdd.nvar man 1) in
+        let g = Bdd.rename man f (fun v -> v + 10) in
+        check_bool "shifted" true
+          (Bdd.equal g (Bdd.and_ man (Bdd.var man 10) (Bdd.nvar man 11))));
+    Alcotest.test_case "rename with a non-monotone map" `Quick (fun () ->
+        (* swap the roles of 0 and 5 in x0 /\ x5' *)
+        let f = Bdd.and_ man (Bdd.var man 0) (Bdd.nvar man 5) in
+        let g = Bdd.rename man f (function 0 -> 5 | 5 -> 0 | v -> v) in
+        check_bool "swapped" true
+          (Bdd.equal g (Bdd.and_ man (Bdd.var man 5) (Bdd.nvar man 0)));
+        check_bool "same as swap_vars" true
+          (Bdd.equal g (Bdd.swap_vars man f 0 5)));
+    Alcotest.test_case "good order shrinks the pairs function" `Quick
+      (fun () ->
+        let k = 5 in
+        let f = pairs_fun k in
+        let interleaved = Reorder.identity_of_support man [ f ] in
+        let paired =
+          Array.of_list (List.concat (List.init k (fun i -> [ i; k + i ])))
+        in
+        let bad = Reorder.size_under man [ f ] interleaved in
+        let good = Reorder.size_under man [ f ] paired in
+        check_bool
+          (Printf.sprintf "paired (%d) beats interleaved (%d)" good bad)
+          true (good < bad));
+    Alcotest.test_case "sift finds a good order for the pairs function"
+      `Quick (fun () ->
+        let k = 4 in
+        let f = pairs_fun k in
+        let start = Reorder.identity_of_support man [ f ] in
+        let sifted = Reorder.sift man [ f ] start in
+        let s = Reorder.size_under man [ f ] sifted in
+        (* optimum is 3k nodes (pairs adjacent); allow a little slack *)
+        check_bool (Printf.sprintf "sifted size %d" s) true (s <= (3 * k) + 2));
+    Alcotest.test_case "symmetric sifting keeps groups adjacent" `Quick
+      (fun () ->
+        let f =
+          (* symmetric in {0,1} and in {2,3}: (x0+x1)(x2 x3) *)
+          Bdd.and_ man
+            (Bdd.or_ man (Bdd.var man 0) (Bdd.var man 1))
+            (Bdd.and_ man (Bdd.var man 2) (Bdd.var man 3))
+        in
+        let order =
+          Reorder.sift_symmetric man [ f ]
+            ~groups:[ [ 0; 1 ]; [ 2; 3 ] ]
+            [| 0; 2; 1; 3 |]
+        in
+        let pos v =
+          let p = ref (-1) in
+          Array.iteri (fun k w -> if w = v then p := k) order;
+          !p
+        in
+        check_int "group {0,1} adjacent" 1 (abs (pos 0 - pos 1));
+        check_int "group {2,3} adjacent" 1 (abs (pos 2 - pos 3)));
+  ]
+
+let props =
+  [
+    QCheck2.Test.make ~name:"rename preserves semantics under permutation"
+      ~count:100
+      (QCheck2.Gen.pair (gen_fun 5) (QCheck2.Gen.int_bound 10_000))
+      (fun (bv, seed) ->
+        let f = Bv.to_bdd man bv in
+        let st = Random.State.make [| seed |] in
+        let perm = Array.init 5 Fun.id in
+        for i = 4 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let t = perm.(i) in
+          perm.(i) <- perm.(j);
+          perm.(j) <- t
+        done;
+        let g = Bdd.rename man f (fun v -> perm.(v)) in
+        (* g(x) = f(x o perm^-1): check by evaluation *)
+        List.for_all
+          (fun idx ->
+            let assignment v = (idx lsr v) land 1 = 1 in
+            Bdd.eval f assignment
+            = Bdd.eval g (fun v ->
+                  (* variable perm.(w) of g reads slot w of f *)
+                  let rec inv w = if perm.(w) = v then w else inv (w + 1) in
+                  assignment (inv 0)))
+          (List.init 32 Fun.id));
+    QCheck2.Test.make ~name:"apply preserves function count and semantics"
+      ~count:60 (gen_fun 5)
+      (fun bv ->
+        let f = Bv.to_bdd man bv in
+        let order = [| 3; 1; 4; 0; 2 |] in
+        match Reorder.apply man [ f ] order with
+        | [ _ ] -> true
+        | _ -> false);
+    QCheck2.Test.make ~name:"sift never increases the size" ~count:40
+      (gen_fun 6)
+      (fun bv ->
+        let f = Bv.to_bdd man bv in
+        let start = Reorder.identity_of_support man [ f ] in
+        if Array.length start < 2 then true
+        else begin
+          let before = Reorder.size_under man [ f ] start in
+          let after = Reorder.size_under man [ f ] (Reorder.sift man [ f ] start) in
+          after <= before
+        end);
+    QCheck2.Test.make ~name:"symmetric sift never increases the size" ~count:30
+      (gen_fun 6)
+      (fun bv ->
+        let f = Bv.to_bdd man bv in
+        let start = Reorder.identity_of_support man [ f ] in
+        if Array.length start < 3 then true
+        else begin
+          let groups = [ [ start.(0); start.(1) ] ] in
+          let before =
+            Reorder.size_under man [ f ]
+              (Reorder.sift_symmetric ~max_rounds:0 man [ f ] ~groups start)
+          in
+          let after =
+            Reorder.size_under man [ f ]
+              (Reorder.sift_symmetric man [ f ] ~groups start)
+          in
+          after <= before
+        end);
+  ]
+
+let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
