@@ -396,7 +396,12 @@ let timing _quick =
 let () =
   let run name f =
     let enabled, quick = section_enabled name in
-    if enabled then f quick
+    if enabled then begin
+      Stats.reset Stats.global;
+      let (), dt = time (fun () -> f quick) in
+      Printf.printf "\n[%s stats] wall %.1fs\n%s\n" name dt
+        (Format.asprintf "%a" Stats.pp Stats.global)
+    end
   in
   Printf.printf
     "mfd benchmark harness — reproduction of C. Scholl, \"Multi-output\n\

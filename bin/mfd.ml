@@ -76,8 +76,17 @@ let run_cmd =
     Arg.(value & flag & info [ "verify" ] ~doc:"Check the result against the spec.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
-  let run target algorithm lut_size out_blif out_dot verify verbose =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print decomposition statistics (score-cache hit rates, \
+             cofactor-vector reuse, per-phase wall time) after the run.")
+  in
+  let run target algorithm lut_size out_blif out_dot verify verbose stats =
     setup_logs verbose;
+    Stats.reset Stats.global;
     let m = Bdd.manager () in
     match load_spec m target with
     | exception Not_found ->
@@ -89,6 +98,7 @@ let run_cmd =
     | spec, name ->
         let outcome = Mulop.run ~lut_size m algorithm spec in
         Format.printf "%s: %a@." name Mulop.pp_outcome outcome;
+        if stats then Format.printf "%a@." Stats.pp Stats.global;
         (match out_blif with
         | Some path -> Blif.write_file ~model:name path outcome.Mulop.network
         | None -> ());
@@ -110,7 +120,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Decompose a benchmark or file into a LUT network.")
     Term.(
       const run $ target $ algorithm $ lut_size $ out_blif $ out_dot $ verify
-      $ verbose)
+      $ verbose $ stats)
 
 let list_cmd =
   let list () =
@@ -139,7 +149,12 @@ let compare_cmd =
   let lut_size =
     Arg.(value & opt int 5 & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT inputs.")
   in
-  let compare target lut_size =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print decomposition statistics per algorithm.")
+  in
+  let compare target lut_size stats =
     setup_logs false;
     let m = Bdd.manager () in
     match load_spec m target with
@@ -150,14 +165,16 @@ let compare_cmd =
         Format.printf "%s (lut size %d):@." name lut_size;
         List.iter
           (fun alg ->
+            Stats.reset Stats.global;
             let o = Mulop.run ~lut_size m alg spec in
-            Format.printf "  %a@." Mulop.pp_outcome o)
+            Format.printf "  %a@." Mulop.pp_outcome o;
+            if stats then Format.printf "  %a@." Stats.pp Stats.global)
           [ Mulop.Mulop_ii; Mulop.Mulop_dc; Mulop.Mulop_dc_ii ]
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run all three algorithms on one target and compare counts.")
-    Term.(const compare $ target $ lut_size)
+    Term.(const compare $ target $ lut_size $ stats)
 
 let () =
   let doc = "multi-output functional decomposition with don't cares" in

@@ -1,0 +1,3 @@
+let ceil_log2 k =
+  let rec go bits cap = if cap >= k then bits else go (bits + 1) (cap * 2) in
+  go 0 1

@@ -1,0 +1,5 @@
+(** Small integer helpers shared across the decomposition modules. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 k] is the smallest [b] with [2^b >= k] ([0] for [k <= 1]).
+    The number of code bits needed to distinguish [k] classes. *)

@@ -1,8 +1,8 @@
-let ceil_log2 k =
-  let rec go bits cap = if cap >= k then bits else go (bits + 1) (cap * 2) in
-  go 0 1
-
-let score ?(lut_size = max_int) m isfs bound =
+let score ?cache ?(lut_size = max_int) m isfs bound =
+  let stats =
+    match cache with Some c -> Score_cache.stats c | None -> Stats.global
+  in
+  stats.Stats.score_calls <- stats.Stats.score_calls + 1;
   let relevant =
     List.filter_map
       (fun f ->
@@ -15,55 +15,80 @@ let score ?(lut_size = max_int) m isfs bound =
   in
   if relevant = [] then (0, 1)
   else begin
-    let vecs =
-      List.map (fun (f, overlap) -> (Isf.cofactor_vector m f bound, overlap)) relevant
+    let key () =
+      Score_cache.score_key ~lut_size (List.map fst relevant) bound
     in
-    let nverts = 1 lsl List.length bound in
-    let distinct_of vec =
-      let tbl = Hashtbl.create 8 in
-      for v = 0 to nverts - 1 do
-        Hashtbl.replace tbl (Bdd.id (Isf.on vec.(v)), Bdd.id (Isf.dc vec.(v))) ()
-      done;
-      Hashtbl.length tbl
+    let memo =
+      match cache with
+      | Some c -> Score_cache.find_score c (key ())
+      | None -> None
     in
-    let reduction =
-      List.fold_left
-        (fun acc (vec, overlap) -> acc + max 0 (overlap - ceil_log2 (distinct_of vec)))
-        0 vecs
-    in
-    let joint =
-      let tbl = Hashtbl.create 8 in
-      for v = 0 to nverts - 1 do
-        Hashtbl.replace tbl
-          (List.map (fun (vec, _) -> (Bdd.id (Isf.on vec.(v)), Bdd.id (Isf.dc vec.(v)))) vecs)
-          ()
-      done;
-      Hashtbl.length tbl
-    in
-    (* Net benefit: support reduction minus the realization cost of the
-       decomposition functions.  ceil(log2 joint) is the paper's lower
-       bound on how many distinct functions the step needs; each costs
-       one LUT when the bound set fits a LUT and a small sub-network
-       otherwise. *)
-    let p = List.length bound in
-    let cost =
-      (* Bound sets within the LUT size pay nothing extra: their
-         functions are single LUTs either way.  Oversized (Curtis) bound
-         sets pay the sub-network realization of each estimated
-         function. *)
-      if p <= lut_size then 0
-      else ceil_log2 joint * (1 + ((p - 2) / max 1 (lut_size - 1)))
-    in
-    (* Gate-level synthesis keys on the achieved support reduction (a
-       missed reducing pair costs a Shannon cascade); at realistic LUT
-       sizes the paper's criterion — minimize the communication
-       complexity [ncc(f, B)] of the step — comes first and the
-       reduction only breaks ties. *)
-    if lut_size <= 3 then (-(reduction - cost), joint)
-    else (joint + cost, -reduction)
+    match memo with
+    | Some s ->
+        stats.Stats.score_hits <- stats.Stats.score_hits + 1;
+        s
+    | None ->
+        let vector f =
+          match cache with
+          | Some c -> Score_cache.cofactor_vector c m f bound
+          | None -> Isf.cofactor_vector m f bound
+        in
+        let vecs =
+          List.map (fun (f, overlap) -> (vector f, overlap)) relevant
+        in
+        let nverts = 1 lsl List.length bound in
+        let distinct_of vec =
+          let tbl = Hashtbl.create 8 in
+          for v = 0 to nverts - 1 do
+            Hashtbl.replace tbl (Bdd.id (Isf.on vec.(v)), Bdd.id (Isf.dc vec.(v))) ()
+          done;
+          Hashtbl.length tbl
+        in
+        let reduction =
+          List.fold_left
+            (fun acc (vec, overlap) ->
+              acc + max 0 (overlap - Bits.ceil_log2 (distinct_of vec)))
+            0 vecs
+        in
+        let joint =
+          let tbl = Hashtbl.create 8 in
+          for v = 0 to nverts - 1 do
+            Hashtbl.replace tbl
+              (List.map (fun (vec, _) -> (Bdd.id (Isf.on vec.(v)), Bdd.id (Isf.dc vec.(v)))) vecs)
+              ()
+          done;
+          Hashtbl.length tbl
+        in
+        (* Net benefit: support reduction minus the realization cost of the
+           decomposition functions.  ceil(log2 joint) is the paper's lower
+           bound on how many distinct functions the step needs; each costs
+           one LUT when the bound set fits a LUT and a small sub-network
+           otherwise. *)
+        let p = List.length bound in
+        let cost =
+          (* Bound sets within the LUT size pay nothing extra: their
+             functions are single LUTs either way.  Oversized (Curtis) bound
+             sets pay the sub-network realization of each estimated
+             function. *)
+          if p <= lut_size then 0
+          else Bits.ceil_log2 joint * (1 + ((p - 2) / max 1 (lut_size - 1)))
+        in
+        (* Gate-level synthesis keys on the achieved support reduction (a
+           missed reducing pair costs a Shannon cascade); at realistic LUT
+           sizes the paper's criterion — minimize the communication
+           complexity [ncc(f, B)] of the step — comes first and the
+           reduction only breaks ties. *)
+        let result =
+          if lut_size <= 3 then (-(reduction - cost), joint)
+          else (joint + cost, -reduction)
+        in
+        (match cache with
+        | Some c -> Score_cache.add_score c (key ()) result
+        | None -> ());
+        result
   end
 
-let select_with_target ?(min_size = 2) m cfg ~groups ~eligible isfs target =
+let select_with_target ?cache ?(min_size = 2) m cfg ~groups ~eligible isfs target =
   if target < 2 then None
   else begin
     let in_eligible v = List.mem v eligible in
@@ -121,7 +146,7 @@ let select_with_target ?(min_size = 2) m cfg ~groups ~eligible isfs target =
                 List.map
                   (fun piece ->
                     let cand = List.sort compare (piece @ current) in
-                    (score ~lut_size:cfg.Config.lut_size m isfs cand, piece))
+                    (score ?cache ~lut_size:cfg.Config.lut_size m isfs cand, piece))
                   extensions
               in
               let best =
@@ -160,7 +185,18 @@ let select_with_target ?(min_size = 2) m cfg ~groups ~eligible isfs target =
         let spread =
           List.filteri (fun i _ -> i mod (1 + (n_atoms / count)) = 0) atoms
         in
-        head @ spread
+        (* [head] and [spread] overlap (the largest atoms can appear in
+           both); growing the same seed twice would just redo identical
+           score queries. *)
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun atom ->
+            if Hashtbl.mem seen atom then false
+            else begin
+              Hashtbl.add seen atom ();
+              true
+            end)
+          (head @ spread)
       end
     in
     let window =
@@ -179,7 +215,7 @@ let select_with_target ?(min_size = 2) m cfg ~groups ~eligible isfs target =
     let best_of = function
       | [] -> None
       | first :: rest ->
-          let rate = score ~lut_size:cfg.Config.lut_size m isfs in
+          let rate = score ?cache ~lut_size:cfg.Config.lut_size m isfs in
           Some
             (List.fold_left
                (fun (bs, bc) cand ->
@@ -193,11 +229,11 @@ let select_with_target ?(min_size = 2) m cfg ~groups ~eligible isfs target =
     | None -> None
   end
 
-let select m cfg ~groups ~eligible isfs =
+let select ?cache m cfg ~groups ~eligible isfs =
   let eligible = List.sort_uniq compare eligible in
   let n = List.length eligible in
   let lut_target = min cfg.Config.lut_size (n - 1) in
-  match select_with_target m cfg ~groups ~eligible isfs lut_target with
+  match select_with_target ?cache m cfg ~groups ~eligible isfs lut_target with
   | Some (_, cand) -> Some cand
   | None -> None
 
@@ -206,7 +242,7 @@ let select m cfg ~groups ~eligible isfs =
    offered when its net benefit is positive — the driver asks for it
    after a LUT-sized step failed to make progress (symmetric
    carry/weight functions at small LUT sizes need exactly this). *)
-let select_curtis ?(extra = 1) m cfg ~groups ~eligible isfs =
+let select_curtis ?cache ?(extra = 1) m cfg ~groups ~eligible isfs =
   let eligible = List.sort_uniq compare eligible in
   let n = List.length eligible in
   let lut_target = min cfg.Config.lut_size (n - 1) in
@@ -214,8 +250,8 @@ let select_curtis ?(extra = 1) m cfg ~groups ~eligible isfs =
   if extended <= lut_target then None
   else
     match
-      select_with_target ~min_size:(lut_target + 1) m cfg ~groups ~eligible
-        isfs extended
+      select_with_target ?cache ~min_size:(lut_target + 1) m cfg ~groups
+        ~eligible isfs extended
     with
     | Some (_, cand) ->
         (* The caller only asks after a LUT-sized step failed, where the

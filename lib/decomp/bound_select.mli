@@ -7,8 +7,18 @@
     bound sets are scored by the number of distinct cofactor tuples
     (the joint class count before merging), lower being better. *)
 
-val score : ?lut_size:int -> Bdd.manager -> Isf.t list -> int list -> int * int
-(** Candidate quality, lexicographically smaller = better.  The first
+val score :
+  ?cache:Score_cache.t ->
+  ?lut_size:int ->
+  Bdd.manager ->
+  Isf.t list ->
+  int list ->
+  int * int
+(** Candidate quality, lexicographically smaller = better.  With
+    [cache], cofactor vectors and whole scores are memoized (and scores
+    are keyed by [lut_size], so both scoring modes can share one cache
+    without mixing); the result is identical with and without a cache.
+    The first
     component is the negated net benefit: the total support reduction
     [sum_i (|B inter supp f_i| - r_i)] (with [r_i = ceil log2] of the
     distinct-cofactor count) minus the estimated realization cost of the
@@ -18,6 +28,7 @@ val score : ?lut_size:int -> Bdd.manager -> Isf.t list -> int list -> int * int
     paper's step 2. *)
 
 val select :
+  ?cache:Score_cache.t ->
   Bdd.manager ->
   Config.t ->
   groups:Symmetry.group list ->
@@ -29,6 +40,7 @@ val select :
     set of size >= 2 fits).  The returned list is ascending. *)
 
 val select_curtis :
+  ?cache:Score_cache.t ->
   ?extra:int ->
   Bdd.manager ->
   Config.t ->

@@ -24,20 +24,24 @@ let merge_graph net =
   done;
   (luts, g)
 
-let pairs policy net =
+(* The merge graph is quadratic in the LUT count; build it (and the
+   matching) once per query and derive both the pairs and the count
+   from the same matching. *)
+let matching_of policy net =
   let luts, g = merge_graph net in
   let matching =
     match policy with
     | First_fit -> Matching.greedy g
     | Max_matching -> Matching.maximum g
   in
-  List.map (fun (a, b) -> (luts.(a), luts.(b))) matching
+  (luts, matching)
+
+let pairs_with_lut_count policy net =
+  let luts, matching = matching_of policy net in
+  (List.map (fun (a, b) -> (luts.(a), luts.(b))) matching, Array.length luts)
+
+let pairs policy net = fst (pairs_with_lut_count policy net)
 
 let clb_count policy net =
-  let luts, g = merge_graph net in
-  let matching =
-    match policy with
-    | First_fit -> Matching.greedy g
-    | Max_matching -> Matching.maximum g
-  in
-  Array.length luts - List.length matching
+  let pairs, lut_count = pairs_with_lut_count policy net in
+  lut_count - List.length pairs

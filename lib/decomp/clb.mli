@@ -13,5 +13,13 @@ val mergeable : Network.t -> Network.signal -> Network.signal -> bool
 (** Can the two LUTs share one XC3000 CLB? *)
 
 val pairs : policy -> Network.t -> (Network.signal * Network.signal) list
+
+val pairs_with_lut_count :
+  policy -> Network.t -> (Network.signal * Network.signal) list * int
+(** The merged pairs together with the network's LUT count, from a
+    single construction of the (quadratic) merge graph — for callers
+    that need both the pairing and the CLB count. *)
+
 val clb_count : policy -> Network.t -> int
-(** [lut_count - number of merged pairs]. *)
+(** [lut_count - number of merged pairs].  Derived from
+    {!pairs_with_lut_count}; one merge-graph construction. *)

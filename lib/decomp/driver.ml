@@ -23,6 +23,11 @@ type item = { sink : sink; isf : Isf.t; shannon_depth : int }
 
 let decompose_report ?(cfg = Config.default) m spec =
   let net = Network.create () in
+  (* One scoring cache for the whole run: it persists across greedy
+     growth, Curtis retries, and driver iterations (recursion levels),
+     and is trimmed whenever a committed step rewrites ISFs.  Tied to
+     [m]; counters land in [Stats.global]. *)
+  let cache = Score_cache.create ~stats:Stats.global () in
   let signal_of_var : (int, Network.signal) Hashtbl.t = Hashtbl.create 64 in
   List.iteri
     (fun k name -> Hashtbl.replace signal_of_var k (Network.add_input net name))
@@ -233,11 +238,10 @@ let decompose_report ?(cfg = Config.default) m spec =
               |> List.map snd |> List.sort compare
             end
           in
-          let phase_t0 = ref (Unix.gettimeofday ()) in
+          let clock = Stats.clock Stats.global in
           let phase name =
-            let now = Unix.gettimeofday () in
-            Log.debug (fun k -> k "  %s: %.2fs" name (now -. !phase_t0));
-            phase_t0 := now
+            let dt = Stats.mark clock name in
+            Log.debug (fun k -> k "  %s: %.2fs" name dt)
           in
           let budget =
             min cfg.Config.symmetry_budget
@@ -259,7 +263,7 @@ let decompose_report ?(cfg = Config.default) m spec =
           (* --- bound set *)
           let bound =
             match
-              Bound_select.select m cfg ~groups ~eligible:region
+              Bound_select.select ~cache m cfg ~groups ~eligible:region
                 (Array.to_list isfs)
             with
             | Some b -> b
@@ -284,10 +288,18 @@ let decompose_report ?(cfg = Config.default) m spec =
                          distinct; only keep the assignment when the
                          class count of this bound set does not grow. *)
                       let unchanged = List.for_all2 Isf.equal fs' fs in
+                      (* The accept/reject comparison must use the same
+                         scoring mode as the selection that chose
+                         [bound]: without [~lut_size], gate-level
+                         configs (lut_size <= 3) would commit by the
+                         class-count-first criterion after selecting by
+                         the reduction-first one. *)
                       if
                         unchanged
-                        || Bound_select.score m fs' bound
-                           < Bound_select.score m fs bound
+                        || Bound_select.score ~cache
+                             ~lut_size:cfg.Config.lut_size m fs' bound
+                           < Bound_select.score ~cache
+                               ~lut_size:cfg.Config.lut_size m fs bound
                       then fs'
                       else fs
                   | None -> fs
@@ -388,7 +400,7 @@ let decompose_report ?(cfg = Config.default) m spec =
           let curtis extra =
             cfg.Config.lut_size <= 3
             && (match
-                  Bound_select.select_curtis ~extra m cfg ~groups
+                  Bound_select.select_curtis ~cache ~extra m cfg ~groups
                     ~eligible:region (Array.to_list isfs)
                 with
                | Some b2 when b2 <> bound -> try_step b2
@@ -396,6 +408,13 @@ let decompose_report ?(cfg = Config.default) m spec =
           in
           let step_ok = step_ok || curtis 1 || curtis 2 in
           worklist := !alpha_items @ Array.to_list participants @ others;
+          (* A committed step rewrote participant ISFs; trim cache
+             entries that mention the replaced ones (memory hygiene —
+             hash-consed keys mean stale entries are unreachable, not
+             wrong). *)
+          if step_ok then
+            Score_cache.retain cache
+              ~live:(List.map (fun it -> it.isf) !worklist);
           if not step_ok then begin
             (* No support shrank: split the primary by Shannon expansion.
                After two fruitless rounds the whole cofactor tree is

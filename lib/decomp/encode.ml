@@ -4,10 +4,6 @@ type output_encoding = { alpha_ids : int list; code_of_class : int array }
 
 type t = { pool : bool array list; outputs : output_encoding array }
 
-let ceil_log2 k =
-  let rec go bits cap = if cap >= k then bits else go (bits + 1) (cap * 2) in
-  go 0 1
-
 (* An alpha (bit per node) is strict for an output iff it is constant on
    each of the output's classes; the per-class bit is then defined. *)
 let class_bits_of_alpha oc alpha =
@@ -49,7 +45,7 @@ let encode specs =
   let encode_one i =
     let oc = specs.(i) in
     let k = oc.nclasses in
-    let r = ceil_log2 k in
+    let r = Bits.ceil_log2 k in
     if r = 0 then { alpha_ids = []; code_of_class = Array.make k 0 }
     else begin
       (* Greedy reuse of strict pool functions. *)
@@ -84,7 +80,7 @@ let encode specs =
                     block_of_class;
                   let mb = Hashtbl.fold (fun _ n acc -> max acc n) sizes 0 in
                   let nblocks = Hashtbl.length sizes in
-                  if ceil_log2 mb <= r - s - 1 then
+                  if Bits.ceil_log2 mb <= r - s - 1 then
                     (* feasible; prefer smallest max block, then most blocks *)
                     let key = (mb, -nblocks) in
                     match !best with
@@ -113,7 +109,7 @@ let encode specs =
       done;
       let chosen = List.rev !chosen (* MSB first *) in
       let s = List.length chosen in
-      assert (ceil_log2 (max_block ()) <= r - s);
+      assert (Bits.ceil_log2 (max_block ()) <= r - s);
       (* Suffixes: enumerate classes within each block. *)
       let next_suffix = Hashtbl.create 16 in
       let suffix = Array.make k 0 in
@@ -163,7 +159,7 @@ let check specs t =
           Hashtbl.add seen code ())
         enc.code_of_class;
       (* exactly ceil(log2 K) functions *)
-      if r <> ceil_log2 oc.nclasses then ok := false;
+      if r <> Bits.ceil_log2 oc.nclasses then ok := false;
       (* strictness and code consistency: bit (r-1-t) of a class's code
          equals alpha_ids[t]'s value on the class's nodes *)
       List.iteri

@@ -1,0 +1,109 @@
+(* Memoization layer for the bound-set search (the paper's inner loop:
+   ncc(f, B) over many candidate bound sets).
+
+   Keys are canonical by hash consing: an ISF is identified by the pair
+   (id of on-set, id of dc-set), so two structurally equal ISFs of the
+   same manager share their cache entries, and entries of a rewritten
+   ISF can never be looked up by mistake — invalidation ([retain]) is
+   purely about bounding memory, never about correctness.
+
+   Cofactor vectors are the expensive part of a score: the table keyed
+   by (isf, sorted bound set) lets a vector for B be extended to
+   B u {v} by splitting each cached cofactor on v (restricts of small,
+   already-restricted BDDs) instead of recomputing all 2^(p+1)
+   cofactors from the root; the greedy growth of Bound_select then
+   reuses the current candidate's vector for every extension it
+   scores, and Curtis retries and later driver iterations reuse
+   whatever the earlier searches left behind.  A cache instance is
+   tied to one Bdd.manager (node ids are only unique per manager). *)
+
+type isf_key = int * int
+
+let isf_key f = (Bdd.id (Isf.on f), Bdd.id (Isf.dc f))
+
+type score_key = int * int list * isf_key list
+
+type t = {
+  stats : Stats.t;
+  cof : (isf_key * int list, Isf.t array) Hashtbl.t;
+  scores : (score_key, int * int) Hashtbl.t;
+}
+
+let create ?(stats = Stats.global) () =
+  { stats; cof = Hashtbl.create 256; scores = Hashtbl.create 256 }
+
+let stats t = t.stats
+
+let cofactor_vector t m f bound =
+  t.stats.Stats.cof_lookups <- t.stats.Stats.cof_lookups + 1;
+  let fk = isf_key f in
+  let hit_below = ref false in
+  let rec get bound =
+    match Hashtbl.find_opt t.cof (fk, bound) with
+    | Some vec ->
+        hit_below := true;
+        vec
+    | None ->
+        let vec =
+          match List.rev bound with
+          | [] -> [| f |]
+          | last :: rev_rest ->
+              (* Prefer any cached size-(p-1) subset; otherwise walk the
+                 remove-maximum chain, caching every prefix on the way
+                 up (total restricts of a cold chain equal those of a
+                 from-the-root computation, so this is never worse). *)
+              let sub, v =
+                match
+                  List.find_map
+                    (fun v ->
+                      let sub = List.filter (fun u -> u <> v) bound in
+                      if Hashtbl.mem t.cof (fk, sub) then Some (sub, v)
+                      else None)
+                    bound
+                with
+                | Some pair -> pair
+                | None -> (List.rev rev_rest, last)
+              in
+              let vec_sub = get sub in
+              t.stats.Stats.restricts <-
+                t.stats.Stats.restricts + (2 * Array.length vec_sub);
+              Isf.extend_cofactor_vector m vec_sub sub v
+        in
+        Hashtbl.add t.cof (fk, bound) vec;
+        vec
+  in
+  match Hashtbl.find_opt t.cof (fk, bound) with
+  | Some vec ->
+      t.stats.Stats.cof_hits <- t.stats.Stats.cof_hits + 1;
+      vec
+  | None ->
+      let vec = get bound in
+      if !hit_below then
+        t.stats.Stats.cof_extends <- t.stats.Stats.cof_extends + 1
+      else t.stats.Stats.cof_fresh <- t.stats.Stats.cof_fresh + 1;
+      vec
+
+let score_key ~lut_size isfs bound =
+  (lut_size, bound, List.map isf_key isfs)
+
+let find_score t key = Hashtbl.find_opt t.scores key
+let add_score t key value = Hashtbl.replace t.scores key value
+
+let retain t ~live =
+  t.stats.Stats.retains <- t.stats.Stats.retains + 1;
+  let alive = Hashtbl.create (List.length live * 2) in
+  List.iter (fun f -> Hashtbl.replace alive (isf_key f) ()) live;
+  let before = Hashtbl.length t.cof + Hashtbl.length t.scores in
+  Hashtbl.filter_map_inplace
+    (fun (fk, _) vec -> if Hashtbl.mem alive fk then Some vec else None)
+    t.cof;
+  Hashtbl.filter_map_inplace
+    (fun (_, _, fks) s ->
+      if List.for_all (Hashtbl.mem alive) fks then Some s else None)
+    t.scores;
+  let after = Hashtbl.length t.cof + Hashtbl.length t.scores in
+  t.stats.Stats.evicted <- t.stats.Stats.evicted + (before - after)
+
+let clear t =
+  Hashtbl.reset t.cof;
+  Hashtbl.reset t.scores

@@ -1,0 +1,46 @@
+(** Memoized cofactor vectors and bound-set scores.
+
+    The bound-set search evaluates [Bound_select.score] on many
+    overlapping candidates: greedy growth scores every extension of the
+    current candidate, Curtis retries rescore supersets, and successive
+    driver iterations revisit the same (unchanged) ISFs.  A cache
+    instance persists across all of them and is keyed canonically by
+    hash consing — an ISF is the pair of node ids of its on- and
+    dc-sets — so entries of rewritten ISFs are unreachable rather than
+    stale.  {!retain} drops entries of dead ISFs to bound memory after
+    the driver commits a step.
+
+    A cache is tied to the {!Bdd.manager} whose ISFs it has seen (node
+    ids are only unique per manager); create one cache per manager. *)
+
+type t
+
+val create : ?stats:Stats.t -> unit -> t
+(** Counters and timings are accumulated into [stats]
+    (default {!Stats.global}). *)
+
+val stats : t -> Stats.t
+
+val cofactor_vector : t -> Bdd.manager -> Isf.t -> int list -> Isf.t array
+(** Memoized {!Isf.cofactor_vector} for an ascending bound set.  On a
+    miss the vector is built by {!Isf.extend_cofactor_vector} from the
+    nearest cached subset (every intermediate prefix is cached too), so
+    growing searches pay one variable's worth of restricts per new
+    candidate instead of a full recomputation. *)
+
+type score_key
+
+val score_key : lut_size:int -> Isf.t list -> int list -> score_key
+(** Key of a score query: the scoring mode ([lut_size]), the sorted
+    bound set, and the identities of the participating ISFs. *)
+
+val find_score : t -> score_key -> (int * int) option
+val add_score : t -> score_key -> int * int -> unit
+
+val retain : t -> live:Isf.t list -> unit
+(** Drop every entry that mentions an ISF outside [live].  Called by
+    the driver after a committed step rewrites participant ISFs; pure
+    memory hygiene — lookups of dead keys cannot collide with live
+    ones because node ids are never reused within a manager. *)
+
+val clear : t -> unit

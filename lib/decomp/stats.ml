@@ -1,0 +1,90 @@
+type t = {
+  mutable score_calls : int;
+  mutable score_hits : int;
+  mutable cof_lookups : int;
+  mutable cof_hits : int;
+  mutable cof_extends : int;
+  mutable cof_fresh : int;
+  mutable restricts : int;
+  mutable retains : int;
+  mutable evicted : int;
+  phases : (string, float) Hashtbl.t;
+}
+
+let create () =
+  {
+    score_calls = 0;
+    score_hits = 0;
+    cof_lookups = 0;
+    cof_hits = 0;
+    cof_extends = 0;
+    cof_fresh = 0;
+    restricts = 0;
+    retains = 0;
+    evicted = 0;
+    phases = Hashtbl.create 8;
+  }
+
+let global = create ()
+
+let reset t =
+  t.score_calls <- 0;
+  t.score_hits <- 0;
+  t.cof_lookups <- 0;
+  t.cof_hits <- 0;
+  t.cof_extends <- 0;
+  t.cof_fresh <- 0;
+  t.restricts <- 0;
+  t.retains <- 0;
+  t.evicted <- 0;
+  Hashtbl.reset t.phases
+
+let add_phase t name dt =
+  Hashtbl.replace t.phases name
+    (dt +. Option.value ~default:0.0 (Hashtbl.find_opt t.phases name))
+
+let phase_time t name = Option.value ~default:0.0 (Hashtbl.find_opt t.phases name)
+
+let score_misses t = t.score_calls - t.score_hits
+
+let score_hit_rate t =
+  if t.score_calls = 0 then 0.0
+  else float_of_int t.score_hits /. float_of_int t.score_calls
+
+let cof_hit_rate t =
+  if t.cof_lookups = 0 then 0.0
+  else
+    float_of_int (t.cof_hits + t.cof_extends) /. float_of_int t.cof_lookups
+
+type clock = { stats : t; mutable last : float }
+
+let clock stats = { stats; last = Unix.gettimeofday () }
+
+let mark ck name =
+  let now = Unix.gettimeofday () in
+  let dt = now -. ck.last in
+  ck.last <- now;
+  add_phase ck.stats name dt;
+  dt
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>score calls %d, memo hits %d (%.1f%%)@,\
+     cofactor vectors: %d lookups, %d cached, %d extended, %d fresh (reuse %.1f%%)@,\
+     isf restricts %d; cache retains %d (evicted %d entries)@]"
+    t.score_calls t.score_hits
+    (100.0 *. score_hit_rate t)
+    t.cof_lookups t.cof_hits t.cof_extends t.cof_fresh
+    (100.0 *. cof_hit_rate t)
+    t.restricts t.retains t.evicted;
+  let phases =
+    Hashtbl.fold (fun name dt acc -> (name, dt) :: acc) t.phases []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  if phases <> [] then begin
+    Format.fprintf fmt "@,@[<v>phases:";
+    List.iter
+      (fun (name, dt) -> Format.fprintf fmt "@,  %-16s %8.3fs" name dt)
+      phases;
+    Format.fprintf fmt "@]"
+  end

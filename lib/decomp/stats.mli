@@ -1,0 +1,51 @@
+(** Decomposition statistics: counters for the bound-set scoring cache
+    and per-phase wall-clock time of the driver loop.
+
+    One mutable record accumulates everything; the driver, the score
+    cache, and the bound-set search all write into the {!global}
+    instance by default, so front ends ([mfd --stats], the bench
+    harness) can reset it before a run and print it afterwards.
+    Counters only ever increase between resets. *)
+
+type t = {
+  mutable score_calls : int;  (** {!Bound_select.score} invocations *)
+  mutable score_hits : int;  (** of which served from the score memo *)
+  mutable cof_lookups : int;  (** cofactor-vector requests *)
+  mutable cof_hits : int;  (** exact vector found in the cache *)
+  mutable cof_extends : int;
+      (** vectors built incrementally from a cached subset *)
+  mutable cof_fresh : int;  (** vectors built from the root *)
+  mutable restricts : int;  (** ISF restricts spent building vectors *)
+  mutable retains : int;  (** cache invalidation passes *)
+  mutable evicted : int;  (** entries dropped by invalidation *)
+  phases : (string, float) Hashtbl.t;  (** per-phase wall time, seconds *)
+}
+
+val create : unit -> t
+val global : t
+val reset : t -> unit
+
+val add_phase : t -> string -> float -> unit
+val phase_time : t -> string -> float
+
+val score_misses : t -> int
+val score_hit_rate : t -> float
+(** Fraction of {!Bound_select.score} calls answered by the memo
+    ([0.] when no calls were made). *)
+
+val cof_hit_rate : t -> float
+(** Fraction of cofactor-vector requests answered without a
+    from-the-root computation (cached or incrementally extended). *)
+
+(** A phase clock marks the boundaries between the named phases of a
+    loop iteration; the elapsed time since the previous mark is added
+    to the named bucket. *)
+
+type clock
+
+val clock : t -> clock
+val mark : clock -> string -> float
+(** [mark ck name] accumulates the time since the last mark (or since
+    {!clock}) into phase [name] and returns it. *)
+
+val pp : Format.formatter -> t -> unit

@@ -7,11 +7,7 @@ type result = {
   joint_classes : int;
 }
 
-let ceil_log2 k =
-  let rec go bits cap = if cap >= k then bits else go (bits + 1) (cap * 2) in
-  go 0 1
-
-let total_alpha_lower_bound result = ceil_log2 result.joint_classes
+let total_alpha_lower_bound result = Bits.ceil_log2 result.joint_classes
 
 let coloring_of cfg g =
   match Coloring.exact ~limit:cfg.Config.exact_coloring_limit g with
@@ -91,7 +87,7 @@ let merge_coloring m cfg g cof =
     colors
   in
   let best = coloring_of cfg g in
-  if ceil_log2 (Coloring.color_count best) < ceil_log2 !ncolors then best
+  if Bits.ceil_log2 (Coloring.color_count best) < Bits.ceil_log2 !ncolors then best
   else renumbered
 
 (* Group one item's cofactors by identical on-sets: the step-3-disabled
@@ -132,12 +128,10 @@ let canonicalize_colors colors =
     colors
 
 let run m cfg ~fresh_var isfs ~bound =
-  let phase_t0 = ref (Unix.gettimeofday ()) in
+  let clock = Stats.clock Stats.global in
   let phase name =
-    let now = Unix.gettimeofday () in
-    if now -. !phase_t0 > 0.2 then
-      Logs.debug (fun k -> k "    step/%s: %.2fs" name (now -. !phase_t0));
-    phase_t0 := now
+    let dt = Stats.mark clock ("step/" ^ name) in
+    if dt > 0.2 then Logs.debug (fun k -> k "    step/%s: %.2fs" name dt)
   in
   let nitems = Array.length isfs in
   let info = Classes.cofactor_matrix m (Array.to_list isfs) bound in

@@ -46,6 +46,11 @@ let cofactor_vector m t vars =
   in
   Array.of_list (go t vars)
 
+let extend_cofactor_vector m vec vars v =
+  let ons = Bdd.extend_cofactor_vector m (Array.map on vec) vars v in
+  let dcs = Bdd.extend_cofactor_vector m (Array.map dc vec) vars v in
+  Array.map2 (fun on dc -> make m ~on ~dc) ons dcs
+
 let swap_vars m t i j =
   make m ~on:(Bdd.swap_vars m t.on i j) ~dc:(Bdd.swap_vars m t.dc i j)
 

@@ -284,6 +284,140 @@ let driver_props =
         (Network.stats net).Network.lut_count <= 4);
   ]
 
+(* Scoring-mode regression: Driver's step-1 symmetry-commit check used
+   to call Bound_select.score without ~lut_size, so at gate-level
+   configs (lut_size <= 3) it accepted don't-care assignments by the
+   class-count-first criterion although the bound set had been selected
+   by the reduction-first one.  On this deterministic spec the pre-fix
+   driver emits 72 LUTs, the fixed one 71. *)
+let scoring_mode_regression =
+  Alcotest.test_case "symmetry commit scores at the config's lut size" `Quick
+    (fun () ->
+      let st = Random.State.make [| 9 |] in
+      let m = Bdd.manager () in
+      let nvars = 6 in
+      let mk_isf () =
+        let on = Bdd.random m ~nvars ~density:0.35 st in
+        let dc0 = Bdd.random m ~nvars ~density:0.4 st in
+        let dc = Bdd.diff m dc0 on in
+        Isf.make m ~on ~dc
+      in
+      let f0 = mk_isf () in
+      let f1 = mk_isf () in
+      let spec =
+        {
+          Driver.input_names = List.init nvars (Printf.sprintf "x%d");
+          functions = [ ("f0", f0); ("f1", f1) ];
+        }
+      in
+      let cfg = Config.with_lut_size 2 Config.mulop_dc in
+      let report = Driver.decompose_report ~cfg m spec in
+      let net = Network.sweep report.Driver.network in
+      check_bool "verifies" true (Driver.verify m spec net);
+      check_bool "gate count (71 post-fix, 72 with the mode mismatch)" true
+        ((Network.stats net).Network.lut_count <= 71))
+
+(* The score cache is an invisible optimization: cached and fresh
+   scores must agree exactly, in both scoring modes, including repeat
+   queries (memo hits) and growing bound sets (incremental cofactor
+   extension). *)
+let score_cache_props =
+  let bound_of_mask mask =
+    List.filter (fun v -> (mask lsr v) land 1 = 1) (List.init 6 Fun.id)
+  in
+  let gen =
+    let open QCheck2.Gen in
+    let* nouts = int_range 1 3 in
+    let* isfs = list_size (return nouts) (gen_isf 6) in
+    let* mask1 = int_range 1 62 in
+    let+ mask2 = int_range 1 62 in
+    (isfs, mask1, mask2)
+  in
+  [
+    QCheck2.Test.make ~name:"cached score equals fresh score" ~count:200 gen
+      (fun (isfs, mask1, mask2) ->
+        let cache = Score_cache.create ~stats:(Stats.create ()) () in
+        (* mask1 lor mask2 is a superset of both: scoring it last goes
+           through the incremental extension of a cached vector. *)
+        List.for_all
+          (fun mask ->
+            let bound = bound_of_mask mask in
+            List.for_all
+              (fun lut_size ->
+                let fresh = Bound_select.score ~lut_size man isfs bound in
+                let c1 = Bound_select.score ~cache ~lut_size man isfs bound in
+                let c2 = Bound_select.score ~cache ~lut_size man isfs bound in
+                fresh = c1 && fresh = c2)
+              [ 2; 5 ])
+          [ mask1; mask2; mask1 lor mask2 ]);
+    QCheck2.Test.make ~name:"extend_cofactor_vector = cofactor_vector"
+      ~count:200
+      QCheck2.Gen.(pair (gen_isf 6) (pair (int_range 1 63) (int_range 0 5)))
+      (fun (f, (mask, vpos)) ->
+        let all = bound_of_mask mask in
+        (* remove one variable of the set, then extend back with it *)
+        let v = List.nth all (vpos mod List.length all) in
+        let vars = List.filter (fun u -> u <> v) all in
+        let base = Isf.cofactor_vector man f vars in
+        let extended = Isf.extend_cofactor_vector man base vars v in
+        let direct = Isf.cofactor_vector man f all in
+        Array.length extended = Array.length direct
+        && Array.for_all2 Isf.equal extended direct);
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "stats counters monotone across a driver run" `Quick
+      (fun () ->
+        let snapshot () =
+          let s = Stats.global in
+          [
+            s.Stats.score_calls;
+            s.Stats.score_hits;
+            s.Stats.cof_lookups;
+            s.Stats.cof_hits;
+            s.Stats.cof_extends;
+            s.Stats.cof_fresh;
+            s.Stats.restricts;
+            s.Stats.retains;
+            s.Stats.evicted;
+          ]
+        in
+        Stats.reset Stats.global;
+        let st = Random.State.make [| 42 |] in
+        let m = Bdd.manager () in
+        let spec =
+          Driver.spec_of_csf m
+            (List.init 7 (Printf.sprintf "x%d"))
+            [
+              ("f", Bdd.random m ~nvars:7 ~density:0.4 st);
+              ("g", Bdd.random m ~nvars:7 ~density:0.5 st);
+            ]
+        in
+        let before = snapshot () in
+        let net1 = Driver.decompose m spec in
+        check_bool "verifies (1)" true (Driver.verify m spec net1);
+        let middle = snapshot () in
+        let net2 =
+          Driver.decompose ~cfg:(Config.with_lut_size 3 Config.mulop_dc) m spec
+        in
+        check_bool "verifies (2)" true (Driver.verify m spec net2);
+        let after = snapshot () in
+        check_bool "counters only grow" true
+          (List.for_all2 ( <= ) before middle
+          && List.for_all2 ( <= ) middle after);
+        let s = Stats.global in
+        check_bool "a real run makes score calls" true (s.Stats.score_calls > 0);
+        check_bool "the cache is actually hit" true (s.Stats.score_hits > 0);
+        check_bool "hits within calls" true
+          (s.Stats.score_hits <= s.Stats.score_calls);
+        check_int "cofactor lookups partitioned"
+          s.Stats.cof_lookups
+          (s.Stats.cof_hits + s.Stats.cof_extends + s.Stats.cof_fresh);
+        check_bool "phase buckets recorded" true
+          (Hashtbl.length s.Stats.phases > 0))
+  ]
+
 let clb_tests =
   [
     Alcotest.test_case "clb merge legality" `Quick (fun () ->
@@ -350,7 +484,10 @@ let clb_tests =
   ]
 
 let suite =
-  classes_tests @ encode_tests @ step_tests @ clb_tests
+  classes_tests @ encode_tests @ step_tests
+  @ [ scoring_mode_regression ]
+  @ stats_tests @ clb_tests
   @ List.map
       (QCheck_alcotest.to_alcotest ~long:false)
-      (classes_props @ encode_props @ [ step_recompose_prop ] @ driver_props)
+      (classes_props @ encode_props @ score_cache_props
+      @ [ step_recompose_prop ] @ driver_props)
