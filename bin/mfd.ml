@@ -38,6 +38,50 @@ let load_spec m path_or_name =
         (build m, path_or_name)
   end
 
+let effort_conv =
+  let parse s =
+    match Budget.effort_of_string s with
+    | Ok e -> Ok e
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (Budget.effort_name e))
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock deadline for the decomposition.  On exceedance the \
+           run degrades (symmetry maximization first, then the joint \
+           clique cover, finally plain Shannon/MUX emission) instead of \
+           failing; a correct network is always produced.")
+
+let node_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "node-budget" ] ~docv:"NODES"
+        ~doc:
+          "BDD node allowance beyond the nodes the specification itself \
+           needs.  Each degradation stage is granted a fresh allowance; \
+           see $(b,--timeout) for the degradation ladder.")
+
+let effort_arg =
+  Arg.(
+    value
+    & opt (some effort_conv) None
+    & info [ "effort" ] ~docv:"LEVEL"
+        ~doc:
+          "Search effort: $(b,quick) shrinks the seed and merge budgets, \
+           $(b,normal) is the default behaviour, $(b,thorough) enlarges \
+           them.")
+
+(* A budget is single-use (sticky degradation stage, absolute deadline
+   anchored at attach time): build a fresh one per decomposition run. *)
+let make_budget timeout node_budget effort () =
+  Budget.create ?timeout ?node_budget ?effort ()
+
 let run_cmd =
   let target =
     Arg.(
@@ -84,7 +128,8 @@ let run_cmd =
             "Print decomposition statistics (score-cache hit rates, \
              cofactor-vector reuse, per-phase wall time) after the run.")
   in
-  let run target algorithm lut_size out_blif out_dot verify verbose stats =
+  let run target algorithm lut_size out_blif out_dot verify verbose stats
+      timeout node_budget effort =
     setup_logs verbose;
     Stats.reset Stats.global;
     let m = Bdd.manager () in
@@ -95,8 +140,15 @@ let run_cmd =
     | exception Sys_error msg ->
         Printf.eprintf "%s\n" msg;
         exit 1
+    | exception Blif.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" target line msg;
+        exit 1
+    | exception Pla.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" target line msg;
+        exit 1
     | spec, name ->
-        let outcome = Mulop.run ~lut_size m algorithm spec in
+        let budget = make_budget timeout node_budget effort () in
+        let outcome = Mulop.run ~lut_size ~budget m algorithm spec in
         Format.printf "%s: %a@." name Mulop.pp_outcome outcome;
         if stats then Format.printf "%a@." Stats.pp Stats.global;
         (match out_blif with
@@ -120,7 +172,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Decompose a benchmark or file into a LUT network.")
     Term.(
       const run $ target $ algorithm $ lut_size $ out_blif $ out_dot $ verify
-      $ verbose $ stats)
+      $ verbose $ stats $ timeout_arg $ node_budget_arg $ effort_arg)
 
 let list_cmd =
   let list () =
@@ -154,19 +206,29 @@ let compare_cmd =
       value & flag
       & info [ "stats" ] ~doc:"Print decomposition statistics per algorithm.")
   in
-  let compare target lut_size stats =
+  let compare target lut_size stats timeout node_budget effort =
     setup_logs false;
     let m = Bdd.manager () in
     match load_spec m target with
     | exception Not_found ->
         Printf.eprintf "unknown benchmark %S\n" target;
         exit 1
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    | exception Blif.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" target line msg;
+        exit 1
+    | exception Pla.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" target line msg;
+        exit 1
     | spec, name ->
         Format.printf "%s (lut size %d):@." name lut_size;
         List.iter
           (fun alg ->
             Stats.reset Stats.global;
-            let o = Mulop.run ~lut_size m alg spec in
+            let budget = make_budget timeout node_budget effort () in
+            let o = Mulop.run ~lut_size ~budget m alg spec in
             Format.printf "  %a@." Mulop.pp_outcome o;
             if stats then Format.printf "  %a@." Stats.pp Stats.global)
           [ Mulop.Mulop_ii; Mulop.Mulop_dc; Mulop.Mulop_dc_ii ]
@@ -174,7 +236,9 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run all three algorithms on one target and compare counts.")
-    Term.(const compare $ target $ lut_size $ stats)
+    Term.(
+      const compare $ target $ lut_size $ stats $ timeout_arg $ node_budget_arg
+      $ effort_arg)
 
 let () =
   let doc = "multi-output functional decomposition with don't cares" in

@@ -38,7 +38,15 @@ type manager = {
   restrict_cache : t Op_cache.t;
   (* node id -> sorted support, memoized for the node's lifetime *)
   support_cache : (int, int list) Hashtbl.t;
+  (* Resource-governor hook: called with the live node count once every
+     [growth_interval] fresh allocations.  May raise to abort the
+     current operation; the unique table and all caches only ever hold
+     completed results, so an abort cannot corrupt the manager. *)
+  mutable growth_hook : (int -> unit) option;
+  mutable growth_tick : int;
 }
+
+let growth_interval = 1024
 
 let manager ?(cache_size = 4096) () =
   {
@@ -51,7 +59,13 @@ let manager ?(cache_size = 4096) () =
     not_cache = Hashtbl.create cache_size;
     restrict_cache = Op_cache.create cache_size;
     support_cache = Hashtbl.create cache_size;
+    growth_hook = None;
+    growth_tick = growth_interval;
   }
+
+let set_growth_hook m hook =
+  m.growth_hook <- hook;
+  m.growth_tick <- growth_interval
 
 let clear_caches m =
   Op_cache.reset m.binop_cache;
@@ -92,6 +106,13 @@ let mk m v lo hi =
         let n = { id = m.next_id; node = Node { v; lo; hi } } in
         m.next_id <- m.next_id + 1;
         Unique_table.add m.unique key n;
+        m.growth_tick <- m.growth_tick - 1;
+        if m.growth_tick <= 0 then begin
+          m.growth_tick <- growth_interval;
+          match m.growth_hook with
+          | Some hook -> hook (Unique_table.length m.unique)
+          | None -> ()
+        end;
         n
 
 let var m i = mk m i m.bzero m.bone

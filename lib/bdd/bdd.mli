@@ -26,6 +26,16 @@ val clear_caches : manager -> unit
 val node_count : manager -> int
 (** Total number of live internal nodes in the unique table. *)
 
+val set_growth_hook : manager -> (int -> unit) option -> unit
+(** Install (or remove, with [None]) a resource-governor hook: it is
+    called with the live node count once every ~1000 fresh node
+    allocations, i.e. at operation boundaries of the recursive apply
+    procedures.  The hook may raise to abort the operation in progress;
+    this is safe, because the unique table and the operation caches only
+    ever record completed results — an abort leaves the manager fully
+    usable.  Used by [Decomp.Budget] to enforce node budgets and
+    wall-clock deadlines. *)
+
 (** {1 Constants and variables} *)
 
 val zero : manager -> t

@@ -85,6 +85,13 @@ let parse text =
         | [ plane; out ], _ when String.length out = 1 ->
             if String.length plane <> arity then
               fail cl "cube arity does not match .names";
+            (* Validate here, with the line at hand — [Cover.cube_of_string]
+               only runs at resolution time, far from any line number. *)
+            String.iter
+              (function
+                | '0' | '1' | '-' | '2' -> ()
+                | c -> fail cl (Printf.sprintf "bad cube char %C" c))
+              plane;
             let cubes, rest' = collect_cubes ln arity rest in
             ((plane, out.[0]) :: cubes, rest')
         | _ -> fail cl "malformed cube")

@@ -88,7 +88,8 @@ let score ?cache ?(lut_size = max_int) m isfs bound =
         result
   end
 
-let select_with_target ?cache ?(min_size = 2) m cfg ~groups ~eligible isfs target =
+let select_with_target ?cache ?(check = ignore) ?(min_size = 2) m cfg ~groups
+    ~eligible isfs target =
   if target < 2 then None
   else begin
     let in_eligible v = List.mem v eligible in
@@ -123,6 +124,7 @@ let select_with_target ?cache ?(min_size = 2) m cfg ~groups ~eligible isfs targe
        prefix) that minimizes the score until the target size. *)
     let grow seed =
       let rec loop acc current =
+        check ();
         let size = List.length current in
         let acc = if size >= target then List.sort compare current :: acc else acc in
         if size >= target then acc
@@ -215,7 +217,10 @@ let select_with_target ?cache ?(min_size = 2) m cfg ~groups ~eligible isfs targe
     let best_of = function
       | [] -> None
       | first :: rest ->
-          let rate = score ?cache ~lut_size:cfg.Config.lut_size m isfs in
+          let rate cand =
+            check ();
+            score ?cache ~lut_size:cfg.Config.lut_size m isfs cand
+          in
           Some
             (List.fold_left
                (fun (bs, bc) cand ->
@@ -229,11 +234,13 @@ let select_with_target ?cache ?(min_size = 2) m cfg ~groups ~eligible isfs targe
     | None -> None
   end
 
-let select ?cache m cfg ~groups ~eligible isfs =
+let select ?cache ?check m cfg ~groups ~eligible isfs =
   let eligible = List.sort_uniq compare eligible in
   let n = List.length eligible in
   let lut_target = min cfg.Config.lut_size (n - 1) in
-  match select_with_target ?cache m cfg ~groups ~eligible isfs lut_target with
+  match
+    select_with_target ?cache ?check m cfg ~groups ~eligible isfs lut_target
+  with
   | Some (_, cand) -> Some cand
   | None -> None
 
@@ -242,7 +249,7 @@ let select ?cache m cfg ~groups ~eligible isfs =
    offered when its net benefit is positive — the driver asks for it
    after a LUT-sized step failed to make progress (symmetric
    carry/weight functions at small LUT sizes need exactly this). *)
-let select_curtis ?cache ?(extra = 1) m cfg ~groups ~eligible isfs =
+let select_curtis ?cache ?check ?(extra = 1) m cfg ~groups ~eligible isfs =
   let eligible = List.sort_uniq compare eligible in
   let n = List.length eligible in
   let lut_target = min cfg.Config.lut_size (n - 1) in
@@ -250,7 +257,7 @@ let select_curtis ?cache ?(extra = 1) m cfg ~groups ~eligible isfs =
   if extended <= lut_target then None
   else
     match
-      select_with_target ?cache ~min_size:(lut_target + 1) m cfg ~groups
+      select_with_target ?cache ?check ~min_size:(lut_target + 1) m cfg ~groups
         ~eligible isfs extended
     with
     | Some (_, cand) ->

@@ -29,6 +29,7 @@ val score :
 
 val select :
   ?cache:Score_cache.t ->
+  ?check:(unit -> unit) ->
   Bdd.manager ->
   Config.t ->
   groups:Symmetry.group list ->
@@ -37,10 +38,13 @@ val select :
   int list option
 (** Choose a bound set of size [min cfg.lut_size (|eligible| - 1)] from
     the eligible variables ([None] if fewer than 2 are eligible or no
-    set of size >= 2 fits).  The returned list is ascending. *)
+    set of size >= 2 fits).  The returned list is ascending.  [check]
+    (default a no-op) is polled once per candidate scored and may raise
+    to abandon the search — the {!Budget} governor polls here. *)
 
 val select_curtis :
   ?cache:Score_cache.t ->
+  ?check:(unit -> unit) ->
   ?extra:int ->
   Bdd.manager ->
   Config.t ->

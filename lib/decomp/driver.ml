@@ -3,11 +3,28 @@ type spec = {
   functions : (string * Isf.t) list;
 }
 
+type internal_error = Iteration_limit of int | Worklist_deadlock
+
+exception Internal of internal_error
+
+let internal_error_message = function
+  | Iteration_limit n ->
+      Printf.sprintf
+        "Driver.decompose: iteration budget exhausted after %d iterations (no progress)"
+        n
+  | Worklist_deadlock -> "Driver.decompose: deadlock in the worklist"
+
+let () =
+  Printexc.register_printer (function
+    | Internal e -> Some (internal_error_message e)
+    | _ -> None)
+
 type report = {
   network : Network.t;
   step_count : int;
   shannon_count : int;
   alpha_count : int;
+  degraded_to : Budget.stage;
 }
 
 let src = Logs.Src.create "mfd.driver" ~doc:"decomposition driver"
@@ -21,7 +38,34 @@ type sink = Output of string | Alpha_var of int
 
 type item = { sink : sink; isf : Isf.t; shannon_depth : int }
 
-let decompose_report ?(cfg = Config.default) m spec =
+let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec =
+  let cfg = Budget.apply_effort budget cfg in
+  (* Degraded view of the configuration: each budget-degradation stage
+     turns off the don't-care phase it names.  [lut_size] never changes,
+     so the emission helpers below can keep capturing [cfg]. *)
+  let dcfg () =
+    match Budget.stage budget with
+    | Budget.Full -> cfg
+    | Budget.No_symmetry ->
+        {
+          cfg with
+          Config.dc_steps = { cfg.Config.dc_steps with Config.symmetry = false };
+        }
+    | Budget.No_sharing | Budget.Shannon_only ->
+        {
+          cfg with
+          Config.dc_steps =
+            {
+              Config.symmetry = false;
+              sharing = false;
+              cms = cfg.Config.dc_steps.Config.cms;
+            };
+          (* per-output greedy coloring: skip the exact search too *)
+          Config.exact_coloring_limit = 0;
+        }
+  in
+  Budget.attach budget m;
+  Fun.protect ~finally:(fun () -> Budget.detach budget m) @@ fun () ->
   let net = Network.create () in
   (* One scoring cache for the whole run: it persists across greedy
      growth, Curtis retries, and driver iterations (recursion levels),
@@ -179,10 +223,245 @@ let decompose_report ?(cfg = Config.default) m spec =
         s
   in
   let support_size item = List.length (Isf.support m item.isf) in
+  (* Shannon/MUX fallback for one item, shared between the no-progress
+     path and the terminal [Shannon_only] degradation stage.  Exempt
+     from budget checks: this is the guaranteed-progress path, and
+     interrupting it would waste work without saving anything. *)
+  let fallback ?(force = false) target_sink =
+    Budget.exempt budget @@ fun () ->
+    let target = List.find (fun it -> it.sink = target_sink) !worklist in
+    let rest = List.filter (fun it -> it.sink <> target_sink) !worklist in
+    if
+      (force || target.shannon_depth >= 2)
+      && List.for_all bound_var (Isf.support m target.isf)
+    then begin
+      bind target.sink (emit_mux_tree target.isf);
+      worklist := rest
+    end
+    else worklist := shannon target @ rest
+  in
+  (* One full decomposition attempt on [primary]'s region: symmetry
+     maximization, bound-set selection, the decomposition step (with
+     Curtis retries at gate level), and the Shannon fallback if nothing
+     progressed.  May raise [Budget.Out_of_budget] from any of the
+     search phases; network emission and worklist commitment are exempt,
+     so an abort always leaves a consistent state (at worst some
+     already-emitted decomposition functions go unreferenced and are
+     swept later). *)
+  let attempt primary region =
+    let cfg = dcfg () in
+    let participates it =
+      List.exists (fun v -> List.mem v region) (Isf.support m it.isf)
+      && support_size it > cfg.Config.lut_size
+    in
+    let participants, others = List.partition participates !worklist in
+    let participants = Array.of_list participants in
+    let isfs = Array.map (fun it -> it.isf) participants in
+    (* --- step 1: symmetrize (or just detect groups).  On wide
+       regions the quadratic pair search is throttled: only the
+       variables shared by the most participants are considered,
+       and the merge budget shrinks with the region size. *)
+    let sym_vars =
+      let limit = 14 in
+      if List.length region <= limit then region
+      else begin
+        let frequency v =
+          Array.fold_left
+            (fun acc f -> if List.mem v (Isf.support m f) then acc + 1 else acc)
+            0 isfs
+        in
+        region
+        |> List.map (fun v -> (-frequency v, v))
+        |> List.sort compare
+        |> List.filteri (fun i _ -> i < limit)
+        |> List.map snd |> List.sort compare
+      end
+    in
+    let clock = Stats.clock Stats.global in
+    let phase name =
+      let dt = Stats.mark clock name in
+      Log.debug (fun k -> k "  %s: %.2fs" name dt)
+    in
+    let merge_budget =
+      min cfg.Config.symmetry_budget
+        (8 * List.length sym_vars * List.length sym_vars)
+    in
+    let sym_check = Budget.checker budget ~where:"symmetry" in
+    let groups =
+      if cfg.Config.dc_steps.Config.symmetry then
+        (* Potential symmetries (don't cares make the exchanges
+           possible); the assignments are NOT committed yet — only
+           the groups that land inside the bound set will be. *)
+        (Symmetry.maximize ~budget:merge_budget ~check:sym_check m
+           (Array.to_list isfs) sym_vars)
+          .Symmetry.groups
+      else
+        Symmetry.partition ~budget:merge_budget ~check:sym_check m
+          (Array.to_list (Array.map Isf.on isfs))
+          sym_vars
+    in
+    phase "symmetry";
+    (* --- bound set *)
+    let select_check = Budget.checker budget ~where:"bound-select" in
+    let bound =
+      match
+        Bound_select.select ~cache ~check:select_check m cfg ~groups
+          ~eligible:region (Array.to_list isfs)
+      with
+      | Some b -> b
+      | None -> []
+    in
+    phase "bound-select";
+    (* --- step 1 commitment: symmetrize exactly the group parts
+       that ended up inside the bound set.  Symmetries across the
+       bound/free boundary are not exploitable by this step (and
+       per the paper step 3 would not preserve them anyway). *)
+    let isfs =
+      if cfg.Config.dc_steps.Config.symmetry && bound <> [] then begin
+        let commit fs group =
+          let inside = List.filter (fun (v, _) -> List.mem v bound) group in
+          if List.length inside < 2 then fs
+          else
+            match Symmetry.close_group m fs inside with
+            | Some fs' ->
+                (* Specifying don't cares can also make vertices
+                   distinct; only keep the assignment when the
+                   class count of this bound set does not grow. *)
+                let unchanged = List.for_all2 Isf.equal fs' fs in
+                (* The accept/reject comparison must use the same
+                   scoring mode as the selection that chose
+                   [bound]: without [~lut_size], gate-level
+                   configs (lut_size <= 3) would commit by the
+                   class-count-first criterion after selecting by
+                   the reduction-first one. *)
+                if
+                  unchanged
+                  || Bound_select.score ~cache ~lut_size:cfg.Config.lut_size m
+                       fs' bound
+                     < Bound_select.score ~cache ~lut_size:cfg.Config.lut_size
+                         m fs bound
+                then fs'
+                else fs
+            | None -> fs
+        in
+        Array.of_list (List.fold_left commit (Array.to_list isfs) groups)
+      end
+      else isfs
+    in
+    phase "symmetry-commit";
+    let alpha_items = ref [] in
+    (* Run one decomposition step against [bound]; commit (emit
+       the decomposition functions, replace the participants'
+       composition functions) only if some output got strictly
+       smaller or LUT-sized — the other outputs still profit from
+       the shared functions.  A step that reduces nothing is
+       rolled back entirely: committing it would spend LUTs on a
+       pure renaming of the bound variables. *)
+    let try_step bound =
+      if bound = [] then false
+      else begin
+        incr step_count;
+        let before_sizes =
+          Array.map (fun f -> List.length (Isf.support m f)) isfs
+        in
+        let result = Step.run ~budget m cfg ~fresh_var isfs ~bound in
+        let progressed = ref false in
+        Array.iteri
+          (fun i g ->
+            let after = List.length (Isf.support m g) in
+            if after < before_sizes.(i) || after <= cfg.Config.lut_size then
+              progressed := true)
+          result.Step.g;
+        Log.debug (fun k ->
+            k "  bound=[%s] r=[%s] sizes %s -> %s progressed=%b"
+              (String.concat "," (List.map string_of_int bound))
+              (String.concat ","
+                 (Array.to_list (Array.map string_of_int result.Step.r)))
+              (String.concat ","
+                 (Array.to_list (Array.map string_of_int before_sizes)))
+              (String.concat ","
+                 (Array.to_list
+                    (Array.map
+                       (fun g -> string_of_int (List.length (Isf.support m g)))
+                       result.Step.g)))
+              !progressed);
+        if !progressed then
+          Budget.exempt budget (fun () ->
+              List.iter
+                (fun { Step.var; func; _ } ->
+                  incr alpha_count;
+                  if List.length bound <= cfg.Config.lut_size then begin
+                    let bound_arr = Array.of_list bound in
+                    let tt =
+                      Bv.of_fun (Array.length bound_arr) (fun idx ->
+                          Bdd.eval func (fun v ->
+                              let rec pos k =
+                                if bound_arr.(k) = v then k else pos (k + 1)
+                              in
+                              (idx lsr pos 0) land 1 = 1))
+                    in
+                    let s =
+                      Network.add_lut net ~fanins:(List.map signal bound) ~tt
+                    in
+                    Hashtbl.replace signal_of_var var s
+                  end
+                  else
+                    (* A Curtis step: the bound set exceeds the LUT
+                       size (e.g. a 3-input compressor for 2-input
+                       gates), so the decomposition function becomes a
+                       new work item and is decomposed recursively. *)
+                    alpha_items :=
+                      {
+                        sink = Alpha_var var;
+                        isf = Isf.of_csf m func;
+                        shannon_depth = 0;
+                      }
+                      :: !alpha_items)
+                result.Step.alphas;
+              Array.iteri
+                (fun i g ->
+                  participants.(i) <- { (participants.(i)) with isf = g })
+                result.Step.g);
+        !progressed
+      end
+    in
+    let step_ok = try_step bound in
+    phase "step";
+    (* Second attempt with an oversized bound set: symmetric
+       carry/weight functions are not decomposable within small
+       LUT sizes but compress with one extra bound variable. *)
+    (* Oversized (Curtis) rescue attempts matter for gate-level
+       synthesis (2-3 input LUTs), where symmetric carry/weight
+       functions have no reducing bound set within the LUT size
+       and need a compressor step; at larger LUT sizes they rarely
+       pay for their sub-networks. *)
+    let curtis extra =
+      cfg.Config.lut_size <= 3
+      && (match
+            Bound_select.select_curtis ~cache ~check:select_check ~extra m cfg
+              ~groups ~eligible:region (Array.to_list isfs)
+          with
+         | Some b2 when b2 <> bound -> try_step b2
+         | Some _ | None -> false)
+    in
+    let step_ok = step_ok || curtis 1 || curtis 2 in
+    worklist := !alpha_items @ Array.to_list participants @ others;
+    (* A committed step rewrote participant ISFs; trim cache
+       entries that mention the replaced ones (memory hygiene —
+       hash-consed keys mean stale entries are unreachable, not
+       wrong). *)
+    if step_ok then
+      Score_cache.retain cache ~live:(List.map (fun it -> it.isf) !worklist);
+    if not step_ok then
+      (* No support shrank: split the primary by Shannon expansion.
+         After two fruitless rounds the whole cofactor tree is
+         emitted at once (shared MUX network). *)
+      fallback primary.sink
+  in
   let max_iterations = 10_000 + (100 * List.length spec.functions) in
   let rec loop iter =
     if iter > max_iterations then
-      failwith "Driver.decompose: iteration budget exhausted (no progress)";
+      raise (Internal (Iteration_limit max_iterations));
     emit_ready ();
     if !worklist <> [] then begin
       (* Primary: the pending item with the largest support among those
@@ -194,247 +473,40 @@ let decompose_report ?(cfg = Config.default) m spec =
             && List.exists bound_var (Isf.support m it.isf))
           !worklist
       in
-      match decomposable with
+      (match decomposable with
       | [] ->
           (* Everything small is waiting on unbound variables — can only
              happen transiently; emit_ready above will unblock next
              round once producers finish.  If nothing is decomposable
              and nothing is ready, the dependency graph is broken. *)
-          failwith "Driver.decompose: deadlock in the worklist"
+          raise (Internal Worklist_deadlock)
       | _ ->
           let primary =
             List.fold_left
-              (fun best it -> if support_size it > support_size best then it else best)
+              (fun best it ->
+                if support_size it > support_size best then it else best)
               (List.hd decomposable) (List.tl decomposable)
           in
-          let region =
-            List.filter bound_var (Isf.support m primary.isf)
-          in
-          let participates it =
-            List.exists (fun v -> List.mem v region) (Isf.support m it.isf)
-            && support_size it > cfg.Config.lut_size
-          in
-          let participants, others = List.partition participates !worklist in
-          let participants = Array.of_list participants in
-          let isfs = Array.map (fun it -> it.isf) participants in
-          (* --- step 1: symmetrize (or just detect groups).  On wide
-             regions the quadratic pair search is throttled: only the
-             variables shared by the most participants are considered,
-             and the merge budget shrinks with the region size. *)
-          let sym_vars =
-            let limit = 14 in
-            if List.length region <= limit then region
-            else begin
-              let frequency v =
-                Array.fold_left
-                  (fun acc f ->
-                    if List.mem v (Isf.support m f) then acc + 1 else acc)
-                  0 isfs
-              in
-              region
-              |> List.map (fun v -> (-frequency v, v))
-              |> List.sort compare
-              |> List.filteri (fun i _ -> i < limit)
-              |> List.map snd |> List.sort compare
-            end
-          in
-          let clock = Stats.clock Stats.global in
-          let phase name =
-            let dt = Stats.mark clock name in
-            Log.debug (fun k -> k "  %s: %.2fs" name dt)
-          in
-          let budget =
-            min cfg.Config.symmetry_budget
-              (8 * List.length sym_vars * List.length sym_vars)
-          in
-          let groups =
-            if cfg.Config.dc_steps.Config.symmetry then
-              (* Potential symmetries (don't cares make the exchanges
-                 possible); the assignments are NOT committed yet — only
-                 the groups that land inside the bound set will be. *)
-              (Symmetry.maximize ~budget m (Array.to_list isfs) sym_vars)
-                .Symmetry.groups
-            else
-              Symmetry.partition ~budget m
-                (Array.to_list (Array.map Isf.on isfs))
-                sym_vars
-          in
-          phase "symmetry";
-          (* --- bound set *)
-          let bound =
-            match
-              Bound_select.select ~cache m cfg ~groups ~eligible:region
-                (Array.to_list isfs)
-            with
-            | Some b -> b
-            | None -> []
-          in
-          phase "bound-select";
-          (* --- step 1 commitment: symmetrize exactly the group parts
-             that ended up inside the bound set.  Symmetries across the
-             bound/free boundary are not exploitable by this step (and
-             per the paper step 3 would not preserve them anyway). *)
-          let isfs =
-            if cfg.Config.dc_steps.Config.symmetry && bound <> [] then begin
-              let commit fs group =
-                let inside =
-                  List.filter (fun (v, _) -> List.mem v bound) group
-                in
-                if List.length inside < 2 then fs
-                else
-                  match Symmetry.close_group m fs inside with
-                  | Some fs' ->
-                      (* Specifying don't cares can also make vertices
-                         distinct; only keep the assignment when the
-                         class count of this bound set does not grow. *)
-                      let unchanged = List.for_all2 Isf.equal fs' fs in
-                      (* The accept/reject comparison must use the same
-                         scoring mode as the selection that chose
-                         [bound]: without [~lut_size], gate-level
-                         configs (lut_size <= 3) would commit by the
-                         class-count-first criterion after selecting by
-                         the reduction-first one. *)
-                      if
-                        unchanged
-                        || Bound_select.score ~cache
-                             ~lut_size:cfg.Config.lut_size m fs' bound
-                           < Bound_select.score ~cache
-                               ~lut_size:cfg.Config.lut_size m fs bound
-                      then fs'
-                      else fs
-                  | None -> fs
-              in
-              Array.of_list
-                (List.fold_left commit (Array.to_list isfs) groups)
-            end
-            else isfs
-          in
-          phase "symmetry-commit";
-          let alpha_items = ref [] in
-          (* Run one decomposition step against [bound]; commit (emit
-             the decomposition functions, replace the participants'
-             composition functions) only if some output got strictly
-             smaller or LUT-sized — the other outputs still profit from
-             the shared functions.  A step that reduces nothing is
-             rolled back entirely: committing it would spend LUTs on a
-             pure renaming of the bound variables. *)
-          let try_step bound =
-            if bound = [] then false
-            else begin
-              incr step_count;
-              let before_sizes =
-                Array.map (fun f -> List.length (Isf.support m f)) isfs
-              in
-              let result = Step.run m cfg ~fresh_var isfs ~bound in
-              let progressed = ref false in
-              Array.iteri
-                (fun i g ->
-                  let after = List.length (Isf.support m g) in
-                  if after < before_sizes.(i) || after <= cfg.Config.lut_size
-                  then progressed := true)
-                result.Step.g;
-              Log.debug (fun k ->
-                  k "  bound=[%s] r=[%s] sizes %s -> %s progressed=%b"
-                    (String.concat "," (List.map string_of_int bound))
-                    (String.concat ","
-                       (Array.to_list (Array.map string_of_int result.Step.r)))
-                    (String.concat ","
-                       (Array.to_list (Array.map string_of_int before_sizes)))
-                    (String.concat ","
-                       (Array.to_list
-                          (Array.map
-                             (fun g ->
-                               string_of_int (List.length (Isf.support m g)))
-                             result.Step.g)))
-                    !progressed);
-              if !progressed then begin
-                List.iter
-                  (fun { Step.var; func; _ } ->
-                    incr alpha_count;
-                    if List.length bound <= cfg.Config.lut_size then begin
-                      let bound_arr = Array.of_list bound in
-                      let tt =
-                        Bv.of_fun (Array.length bound_arr) (fun idx ->
-                            Bdd.eval func (fun v ->
-                                let rec pos k =
-                                  if bound_arr.(k) = v then k else pos (k + 1)
-                                in
-                                (idx lsr pos 0) land 1 = 1))
-                      in
-                      let s =
-                        Network.add_lut net ~fanins:(List.map signal bound) ~tt
-                      in
-                      Hashtbl.replace signal_of_var var s
-                    end
-                    else
-                      (* A Curtis step: the bound set exceeds the LUT
-                         size (e.g. a 3-input compressor for 2-input
-                         gates), so the decomposition function becomes a
-                         new work item and is decomposed recursively. *)
-                      alpha_items :=
-                        {
-                          sink = Alpha_var var;
-                          isf = Isf.of_csf m func;
-                          shannon_depth = 0;
-                        }
-                        :: !alpha_items)
-                  result.Step.alphas;
-                Array.iteri
-                  (fun i g ->
-                    participants.(i) <- { (participants.(i)) with isf = g })
-                  result.Step.g
-              end;
-              !progressed
-            end
-          in
-          let step_ok = try_step bound in
-          phase "step";
-          (* Second attempt with an oversized bound set: symmetric
-             carry/weight functions are not decomposable within small
-             LUT sizes but compress with one extra bound variable. *)
-          (* Oversized (Curtis) rescue attempts matter for gate-level
-             synthesis (2-3 input LUTs), where symmetric carry/weight
-             functions have no reducing bound set within the LUT size
-             and need a compressor step; at larger LUT sizes they rarely
-             pay for their sub-networks. *)
-          let curtis extra =
-            cfg.Config.lut_size <= 3
-            && (match
-                  Bound_select.select_curtis ~cache ~extra m cfg ~groups
-                    ~eligible:region (Array.to_list isfs)
-                with
-               | Some b2 when b2 <> bound -> try_step b2
-               | Some _ | None -> false)
-          in
-          let step_ok = step_ok || curtis 1 || curtis 2 in
-          worklist := !alpha_items @ Array.to_list participants @ others;
-          (* A committed step rewrote participant ISFs; trim cache
-             entries that mention the replaced ones (memory hygiene —
-             hash-consed keys mean stale entries are unreachable, not
-             wrong). *)
-          if step_ok then
-            Score_cache.retain cache
-              ~live:(List.map (fun it -> it.isf) !worklist);
-          if not step_ok then begin
-            (* No support shrank: split the primary by Shannon expansion.
-               After two fruitless rounds the whole cofactor tree is
-               emitted at once (shared MUX network). *)
-            let target_sink = primary.sink in
-            let target =
-              List.find (fun it -> it.sink = target_sink) !worklist
-            in
-            let rest = List.filter (fun it -> it.sink <> target_sink) !worklist in
-            if target.shannon_depth >= 2
-               && List.for_all bound_var (Isf.support m target.isf)
-            then begin
-              bind target.sink (emit_mux_tree target.isf);
-              worklist := rest
-            end
-            else worklist := shannon target @ rest
-          end;
-          Log.debug (fun k ->
-              k "iter %d: worklist %d items" iter (List.length !worklist));
-          loop (iter + 1)
+          if Budget.stage budget = Budget.Shannon_only then
+            (* Terminal degradation: no more decomposition attempts,
+               emit the remaining items as shared MUX trees. *)
+            fallback ~force:true primary.sink
+          else begin
+            let region = List.filter bound_var (Isf.support m primary.isf) in
+            try attempt primary region
+            with Budget.Out_of_budget { reason; where } ->
+              let stage = Budget.degrade budget m reason in
+              Stats.add_degradation Stats.global
+                ~stage:(Budget.stage_name stage)
+                ~reason:(Budget.reason_name reason)
+                ~where;
+              Log.warn (fun k ->
+                  k "budget: %s exceeded in %s — degrading to %s"
+                    (Budget.reason_name reason) where (Budget.stage_name stage))
+          end);
+      Log.debug (fun k ->
+          k "iter %d: worklist %d items" iter (List.length !worklist));
+      loop (iter + 1)
     end
   in
   loop 0;
@@ -443,9 +515,11 @@ let decompose_report ?(cfg = Config.default) m spec =
     step_count = !step_count;
     shannon_count = !shannon_count;
     alpha_count = !alpha_count;
+    degraded_to = Budget.stage budget;
   }
 
-let decompose ?cfg m spec = (decompose_report ?cfg m spec).network
+let decompose ?cfg ?budget m spec =
+  (decompose_report ?cfg ?budget m spec).network
 
 let verify m spec net =
   let var_of_input =

@@ -8,28 +8,56 @@
     ISFs —, emit the decomposition functions as LUTs, and continue with
     the composition functions, until everything fits into LUTs of the
     configured size.  A Shannon/MUX fallback guarantees progress on
-    non-decomposable functions. *)
+    non-decomposable functions.
+
+    Runs can be governed by a {!Budget}: when a deadline or node budget
+    is exceeded mid-phase the driver {e degrades} instead of failing —
+    first dropping symmetry maximization, then the sharing-aware joint
+    clique cover, finally falling back to plain Shannon/MUX emission —
+    so a correct LUT network is always produced.  Degradation events are
+    recorded in {!Stats.global}. *)
 
 type spec = {
   input_names : string list;  (** input [k] is BDD variable [k] *)
   functions : (string * Isf.t) list;  (** named outputs *)
 }
 
+type internal_error =
+  | Iteration_limit of int
+      (** the driver made no progress within its iteration budget *)
+  | Worklist_deadlock
+      (** nothing is decomposable and nothing is ready — the internal
+          dependency graph is broken *)
+
+exception Internal of internal_error
+(** Raised on driver invariant violations (both indicate a bug, not a
+    property of the input).  A human-readable rendering is registered
+    with {!Printexc}; {!internal_error_message} produces the same
+    text. *)
+
+val internal_error_message : internal_error -> string
+
 type report = {
   network : Network.t;
   step_count : int;
   shannon_count : int;
   alpha_count : int;  (** total decomposition functions emitted *)
+  degraded_to : Budget.stage;
+      (** [Budget.Full] unless the run exceeded its budget; otherwise
+          the last degradation stage reached *)
 }
 
 val spec_of_csf : Bdd.manager -> string list -> (string * Bdd.t) list -> spec
 
-val decompose : ?cfg:Config.t -> Bdd.manager -> spec -> Network.t
+val decompose : ?cfg:Config.t -> ?budget:Budget.t -> Bdd.manager -> spec -> Network.t
 (** The resulting network has one LUT per decomposition/composition
     function, every LUT with at most [cfg.lut_size] inputs, and realizes
-    an extension of every specified output. *)
+    an extension of every specified output.  [budget] (default
+    {!Budget.unlimited}) governs the run as described above; it is
+    single-use — create a fresh one per call. *)
 
-val decompose_report : ?cfg:Config.t -> Bdd.manager -> spec -> report
+val decompose_report :
+  ?cfg:Config.t -> ?budget:Budget.t -> Bdd.manager -> spec -> report
 
 val verify : Bdd.manager -> spec -> Network.t -> bool
 (** Every output of the network extends the corresponding ISF of the

@@ -9,6 +9,7 @@ type outcome = {
   step_count : int;
   shannon_count : int;
   alpha_count : int;
+  degraded_to : Budget.stage;
 }
 
 let algorithm_name = function
@@ -20,9 +21,9 @@ let config_of ?(lut_size = 5) = function
   | Mulop_ii -> Config.with_lut_size lut_size Config.mulop_ii
   | Mulop_dc | Mulop_dc_ii -> Config.with_lut_size lut_size Config.mulop_dc
 
-let run ?lut_size m algorithm spec =
+let run ?lut_size ?budget m algorithm spec =
   let cfg = config_of ?lut_size algorithm in
-  let report = Driver.decompose_report ~cfg m spec in
+  let report = Driver.decompose_report ~cfg ?budget m spec in
   let net = Network.sweep report.Driver.network in
   let stats = Network.stats net in
   let policy =
@@ -39,9 +40,15 @@ let run ?lut_size m algorithm spec =
     step_count = report.Driver.step_count;
     shannon_count = report.Driver.shannon_count;
     alpha_count = report.Driver.alpha_count;
+    degraded_to = report.Driver.degraded_to;
   }
 
 let pp_outcome fmt o =
   Format.fprintf fmt "%-10s luts=%-4d clbs=%-4d depth=%-3d steps=%d shannon=%d"
     (algorithm_name o.algorithm) o.lut_count o.clb_count o.depth o.step_count
-    o.shannon_count
+    o.shannon_count;
+  (* Keep ungoverned output byte-identical: the stage only shows up when
+     a budget actually degraded the run. *)
+  match o.degraded_to with
+  | Budget.Full -> ()
+  | stage -> Format.fprintf fmt " degraded=%s" (Budget.stage_name stage)

@@ -14,9 +14,24 @@ type outcome = {
   step_count : int;
   shannon_count : int;
   alpha_count : int;
+  degraded_to : Budget.stage;
+      (** [Budget.Full] unless the run's budget forced a degradation *)
 }
 
 val algorithm_name : algorithm -> string
 val config_of : ?lut_size:int -> algorithm -> Config.t
-val run : ?lut_size:int -> Bdd.manager -> algorithm -> Driver.spec -> outcome
+
+val run :
+  ?lut_size:int ->
+  ?budget:Budget.t ->
+  Bdd.manager ->
+  algorithm ->
+  Driver.spec ->
+  outcome
+(** Decompose [spec] with the given algorithm and sweep the result.
+    [budget] (default {!Budget.unlimited}) is single-use — pass a fresh
+    one per call. *)
+
 val pp_outcome : Format.formatter -> outcome -> unit
+(** One-line summary; appends [degraded=<stage>] only when the run was
+    degraded, so ungoverned output is unchanged. *)

@@ -8,6 +8,8 @@ type t = {
   mutable restricts : int;
   mutable retains : int;
   mutable evicted : int;
+  mutable budget_checks : int;
+  mutable degradations : (string * string * string) list;
   phases : (string, float) Hashtbl.t;
 }
 
@@ -22,6 +24,8 @@ let create () =
     restricts = 0;
     retains = 0;
     evicted = 0;
+    budget_checks = 0;
+    degradations = [];
     phases = Hashtbl.create 8;
   }
 
@@ -37,7 +41,14 @@ let reset t =
   t.restricts <- 0;
   t.retains <- 0;
   t.evicted <- 0;
+  t.budget_checks <- 0;
+  t.degradations <- [];
   Hashtbl.reset t.phases
+
+let add_degradation t ~stage ~reason ~where =
+  t.degradations <- (stage, reason, where) :: t.degradations
+
+let degradations t = List.rev t.degradations
 
 let add_phase t name dt =
   Hashtbl.replace t.phases name
@@ -77,6 +88,15 @@ let pp fmt t =
     t.cof_lookups t.cof_hits t.cof_extends t.cof_fresh
     (100.0 *. cof_hit_rate t)
     t.restricts t.retains t.evicted;
+  (match degradations t with
+  | [] -> ()
+  | ds ->
+      Format.fprintf fmt "@,@[<v>budget degradations (%d checks):" t.budget_checks;
+      List.iter
+        (fun (stage, reason, where) ->
+          Format.fprintf fmt "@,  -> %-14s (%s exceeded in %s)" stage reason where)
+        ds;
+      Format.fprintf fmt "@]");
   let phases =
     Hashtbl.fold (fun name dt acc -> (name, dt) :: acc) t.phases []
     |> List.sort (fun (_, a) (_, b) -> compare b a)

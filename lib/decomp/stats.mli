@@ -18,6 +18,10 @@ type t = {
   mutable restricts : int;  (** ISF restricts spent building vectors *)
   mutable retains : int;  (** cache invalidation passes *)
   mutable evicted : int;  (** entries dropped by invalidation *)
+  mutable budget_checks : int;  (** {!Budget.check} polls performed *)
+  mutable degradations : (string * string * string) list;
+      (** budget degradation events, newest first:
+          [(stage entered, resource exceeded, where it was detected)] *)
   phases : (string, float) Hashtbl.t;  (** per-phase wall time, seconds *)
 }
 
@@ -27,6 +31,13 @@ val reset : t -> unit
 
 val add_phase : t -> string -> float -> unit
 val phase_time : t -> string -> float
+
+val add_degradation : t -> stage:string -> reason:string -> where:string -> unit
+(** Record one budget degradation event (the driver entered [stage]
+    because [reason] was exceeded, detected at poll point [where]). *)
+
+val degradations : t -> (string * string * string) list
+(** Degradation events in the order they fired. *)
 
 val score_misses : t -> int
 val score_hit_rate : t -> float

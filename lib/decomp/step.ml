@@ -24,7 +24,7 @@ let coloring_of cfg g =
    output considered) of class [v]; pairwise compatibility — encoded as
    non-adjacency in [g] — implies joint consistency, because on/off
    conflicts are always between exactly two classes. *)
-let merge_coloring m cfg g cof =
+let merge_coloring ?(budget = Budget.unlimited) m cfg g cof =
   let n = Ugraph.n g in
   let order =
     List.init n Fun.id
@@ -41,6 +41,7 @@ let merge_coloring m cfg g cof =
   in
   List.iter
     (fun v ->
+      Budget.check budget ~where:"step/coloring";
       let cv = cof v in
       let feasible c =
         List.for_all (fun w -> not (Ugraph.has_edge g v w)) (Hashtbl.find members c)
@@ -127,11 +128,12 @@ let canonicalize_colors colors =
           c')
     colors
 
-let run m cfg ~fresh_var isfs ~bound =
+let run ?(budget = Budget.unlimited) m cfg ~fresh_var isfs ~bound =
   let clock = Stats.clock Stats.global in
   let phase name =
     let dt = Stats.mark clock ("step/" ^ name) in
-    if dt > 0.2 then Logs.debug (fun k -> k "    step/%s: %.2fs" name dt)
+    if dt > 0.2 then Logs.debug (fun k -> k "    step/%s: %.2fs" name dt);
+    Budget.check budget ~where:("step/" ^ name)
   in
   let nitems = Array.length isfs in
   let info = Classes.cofactor_matrix m (Array.to_list isfs) bound in
@@ -146,7 +148,8 @@ let run m cfg ~fresh_var isfs ~bound =
       let g = Classes.joint_incompat m info in
       let colors =
         canonicalize_colors
-          (merge_coloring m cfg g (fun v -> Array.to_list info.Classes.node_cof.(v)))
+          (merge_coloring ~budget m cfg g (fun v ->
+               Array.to_list info.Classes.node_cof.(v)))
       in
       (colors, Coloring.color_count colors)
     end
@@ -172,7 +175,7 @@ let run m cfg ~fresh_var isfs ~bound =
           let g = Classes.item_incompat_of_groups m info i class_of_node n_joint in
           let colors =
             canonicalize_colors
-              (merge_coloring m cfg g (fun jc -> [ joint_cof.(i).(jc) ]))
+              (merge_coloring ~budget m cfg g (fun jc -> [ joint_cof.(i).(jc) ]))
           in
           (colors, Coloring.color_count colors)
         end

@@ -29,12 +29,20 @@ type result = {
 }
 
 val run :
+  ?budget:Budget.t ->
   Bdd.manager ->
   Config.t ->
   fresh_var:(unit -> int) ->
   Isf.t array ->
   bound:int list ->
   result
+(** Run one decomposition step of the function vector [isfs] against
+    [bound].  [fresh_var] allocates the BDD variables standing for the
+    decomposition functions.  [budget] (default {!Budget.unlimited}) is
+    polled at every internal phase boundary and once per vertex of the
+    class-merging colorings; {!Budget.Out_of_budget} can only escape
+    {e before} anything is emitted — the step itself is pure, all
+    commitment happens in the driver. *)
 
 val total_alpha_lower_bound : result -> int
 (** [ceil(log2 joint_classes)] — the paper's lower bound on the total

@@ -76,11 +76,13 @@ let close_group m fs group = close m fs (group_pairs group)
 
 type result = { functions : Isf.t list; groups : group list }
 
-let maximize ?(budget = 4000) ?(use_equivalence = true) m fs vars =
+let maximize ?(budget = 4000) ?(use_equivalence = true) ?(check = ignore) m fs
+    vars =
   let budget = ref budget in
   let merge_groups fs g1 g2 q =
     if !budget <= 0 then None
     else begin
+      check ();
       decr budget;
       (* Cheap rejection first: every cross pair must be individually
          symmetrizable before attempting the (quadratic) closure. *)
@@ -143,6 +145,6 @@ let maximize ?(budget = 4000) ?(use_equivalence = true) m fs vars =
   in
   { functions = fs'; groups }
 
-let partition ?budget m fs vars =
+let partition ?budget ?check m fs vars =
   let isfs = List.map (Isf.of_csf m) fs in
-  (maximize ?budget m isfs vars).groups
+  (maximize ?budget ?check m isfs vars).groups

@@ -32,11 +32,17 @@ val symmetric_pair : Bdd.manager -> Bdd.t list -> rel:bool -> int -> int -> bool
 (** Is every function of the vector invariant under exchanging the two
     variables with relative phase [rel]? *)
 
-val partition : ?budget:int -> Bdd.manager -> Bdd.t list -> int list -> group list
+val partition :
+  ?budget:int ->
+  ?check:(unit -> unit) ->
+  Bdd.manager ->
+  Bdd.t list ->
+  int list ->
+  group list
 (** Partition the given variables into maximal symmetry groups of the
     (multi-output) function vector, considering both phases.  Groups are
     disjoint and cover the input list; the order of the result follows
-    the first occurrence of each group. *)
+    the first occurrence of each group.  [check] as in {!maximize}. *)
 
 (** {1 Symmetrization of incompletely specified functions} *)
 
@@ -65,6 +71,7 @@ type result = { functions : Isf.t list; groups : group list }
 val maximize :
   ?budget:int ->
   ?use_equivalence:bool ->
+  ?check:(unit -> unit) ->
   Bdd.manager ->
   Isf.t list ->
   int list ->
@@ -75,7 +82,9 @@ val maximize :
     group under all pair exchanges, which terminates because care sets
     only grow).  [budget] bounds the number of attempted pair merges
     (default 4000); [use_equivalence] enables phase-[true] merges
-    (default true).
+    (default true).  [check] (default a no-op) is polled before every
+    merge attempt and may raise to abandon the pass — the resource
+    governor of the decomposition engine polls its deadline here.
 
     On completely specified functions no don't cares exist and this
     reduces to pure detection, i.e. [partition]. *)

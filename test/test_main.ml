@@ -13,4 +13,5 @@ let () =
       ("paper-props", Test_paper_props.suite);
       ("reorder", Test_reorder.suite);
       ("extra", Test_extra.suite);
+      ("budget", Test_budget.suite);
     ]
