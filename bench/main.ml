@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- table1 figure2 ...   -- selected sections
      dune exec bench/main.exe -- quick    -- skip the slowest circuits
 
-   Sections: table1 table2 figure2 figure3 ablation governor robdd timing
+   Sections: table1 table2 figure2 figure3 ablation governor check robdd
+   timing
 
    Paper-vs-measured records land in EXPERIMENTS.md; this executable
    prints the measured side next to the reference values that the
@@ -295,6 +296,44 @@ let governor quick =
 (* effect with our substrate.                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Assertion-layer overhead: --check=off vs cheap vs full              *)
+(* ------------------------------------------------------------------ *)
+
+let check_overhead quick =
+  hr "Check: assertion-layer overhead (mulop-dc, n_LUT = 5)";
+  Printf.printf
+    "Wall time of one mulop-dc run per circuit at each --check level.\n\
+     Checks are pure observers: all levels must produce the same CLB\n\
+     count, and a clean run reports zero findings.\n\n";
+  Printf.printf "%-8s | %8s %8s %8s | %7s %7s | %8s\n" "circuit" "off" "cheap"
+    "full" "cheap" "full" "findings";
+  let circuits =
+    if quick then [ "rd73"; "misex1"; "5xp1" ]
+    else [ "rd73"; "rd84"; "misex1"; "5xp1"; "clip"; "sao2"; "alu2" ]
+  in
+  List.iter
+    (fun name ->
+      let e = Mcnc.find name in
+      let one checks =
+        let m = Bdd.manager () in
+        let spec = e.Mcnc.build m in
+        time (fun () -> Mulop.run ~checks m Mulop.Mulop_dc spec)
+      in
+      let o_off, t_off = one Diagnostic.Off in
+      let o_cheap, t_cheap = one Diagnostic.Cheap in
+      let o_full, t_full = one Diagnostic.Full in
+      assert (o_off.Mulop.clb_count = o_cheap.Mulop.clb_count);
+      assert (o_off.Mulop.clb_count = o_full.Mulop.clb_count);
+      let pct t = 100.0 *. ((t /. Float.max 1e-9 t_off) -. 1.0) in
+      Printf.printf "%-8s | %7.3fs %7.3fs %7.3fs | %+6.0f%% %+6.0f%% | %8d\n"
+        name t_off t_cheap t_full (pct t_cheap) (pct t_full)
+        (List.length o_full.Mulop.findings))
+    circuits;
+  Printf.printf
+    "\n(cheap/full columns are overhead relative to off; findings are from\n\
+     the full run and must be 0 on a healthy build)\n"
+
 let robdd _quick =
   hr "Extension: ROBDD size under don't-care symmetrization (EDTC'97 effect)";
   Printf.printf
@@ -303,8 +342,7 @@ let robdd _quick =
      assigns all DCs to 0 (destroying the symmetry); 'symmetrized' runs\n\
      the step-1 assignment (recovering it); both are then reordered\n\
      with (symmetric) sifting.\n\n";
-  Printf.printf "%6s | %8s %8s | %10s %12s | %6s
-" "seed" "zeroed" "sifted"
+  Printf.printf "%6s | %8s %8s | %10s %12s | %6s\n" "seed" "zeroed" "sifted"
     "symmetrized" "sym+sifted" "gain";
   let total_before = ref 0 and total_after = ref 0 in
   List.iter
@@ -351,15 +389,12 @@ let robdd _quick =
       in
       total_before := !total_before + z_sifted;
       total_after := !total_after + s_sifted;
-      Printf.printf "%6d | %8d %8d | %10d %12d | %5.0f%%
-" seed z_size z_sifted
-        s_size s_sifted
+      Printf.printf "%6d | %8d %8d | %10d %12d | %5.0f%%\n" seed z_size
+        z_sifted s_size s_sifted
         (100.0 *. (1.0 -. (float_of_int s_sifted /. float_of_int (max 1 z_sifted)))))
     [ 1; 2; 3; 4; 5; 6 ];
   Printf.printf
-    "
-shared-size totals: zeroed+sifted %d vs symmetrized+sym-sifted %d
-"
+    "\nshared-size totals: zeroed+sifted %d vs symmetrized+sym-sifted %d\n"
     !total_before !total_after
 
 (* ------------------------------------------------------------------ *)
@@ -459,6 +494,7 @@ let () =
   run "figure3" figure3;
   run "ablation" ablation;
   run "governor" governor;
+  run "check" check_overhead;
   run "robdd" robdd;
   run "timing" timing;
   Printf.printf "\ndone.\n"

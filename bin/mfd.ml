@@ -38,6 +38,37 @@ let load_spec m path_or_name =
         (build m, path_or_name)
   end
 
+let check_conv =
+  let parse s =
+    match Diagnostic.level_of_string s with
+    | Ok l -> Ok l
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun fmt l -> Format.pp_print_string fmt (Diagnostic.level_name l))
+
+let check_arg =
+  Arg.(
+    value
+    & opt check_conv Diagnostic.Off
+    & info [ "check" ] ~docv:"LEVEL"
+        ~doc:
+          "Assertion layer: $(b,off) (default), $(b,cheap) (bookkeeping \
+           invariants: well-formed ISFs, refinement of committed don't-care \
+           phases, proper clique covers, injective encodings, structural \
+           soundness of the final network) or $(b,full) (additionally \
+           BDD-equivalence obligations: committed symmetries, step \
+           composition vs specification, emitted LUT tables).  Checks never \
+           change the result; findings are printed after the run and any \
+           $(b,Error) finding makes the command exit 1.")
+
+(* Findings of a checked run: print them (stderr-like, but on stdout so
+   they interleave with the run summary) and fail on errors. *)
+let report_findings findings =
+  if findings <> [] then
+    Format.printf "%a@." Diagnostic.pp_list findings;
+  if Diagnostic.errors findings <> [] then exit 1
+
 let effort_conv =
   let parse s =
     match Budget.effort_of_string s with
@@ -129,7 +160,7 @@ let run_cmd =
              cofactor-vector reuse, per-phase wall time) after the run.")
   in
   let run target algorithm lut_size out_blif out_dot verify verbose stats
-      timeout node_budget effort =
+      checks timeout node_budget effort =
     setup_logs verbose;
     Stats.reset Stats.global;
     let m = Bdd.manager () in
@@ -148,7 +179,7 @@ let run_cmd =
         exit 1
     | spec, name ->
         let budget = make_budget timeout node_budget effort () in
-        let outcome = Mulop.run ~lut_size ~budget m algorithm spec in
+        let outcome = Mulop.run ~lut_size ~budget ~checks m algorithm spec in
         Format.printf "%s: %a@." name Mulop.pp_outcome outcome;
         if stats then Format.printf "%a@." Stats.pp Stats.global;
         (match out_blif with
@@ -166,13 +197,15 @@ let run_cmd =
           else begin
             Format.printf "verify: FAILED@.";
             exit 1
-          end
+          end;
+        report_findings outcome.Mulop.findings
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Decompose a benchmark or file into a LUT network.")
     Term.(
       const run $ target $ algorithm $ lut_size $ out_blif $ out_dot $ verify
-      $ verbose $ stats $ timeout_arg $ node_budget_arg $ effort_arg)
+      $ verbose $ stats $ check_arg $ timeout_arg $ node_budget_arg
+      $ effort_arg)
 
 let list_cmd =
   let list () =
@@ -206,7 +239,7 @@ let compare_cmd =
       value & flag
       & info [ "stats" ] ~doc:"Print decomposition statistics per algorithm.")
   in
-  let compare target lut_size stats timeout node_budget effort =
+  let compare target lut_size stats checks timeout node_budget effort =
     setup_logs false;
     let m = Bdd.manager () in
     match load_spec m target with
@@ -224,23 +257,126 @@ let compare_cmd =
         exit 1
     | spec, name ->
         Format.printf "%s (lut size %d):@." name lut_size;
+        let all_findings = ref [] in
         List.iter
           (fun alg ->
             Stats.reset Stats.global;
             let budget = make_budget timeout node_budget effort () in
-            let o = Mulop.run ~lut_size ~budget m alg spec in
+            let o = Mulop.run ~lut_size ~budget ~checks m alg spec in
             Format.printf "  %a@." Mulop.pp_outcome o;
-            if stats then Format.printf "  %a@." Stats.pp Stats.global)
-          [ Mulop.Mulop_ii; Mulop.Mulop_dc; Mulop.Mulop_dc_ii ]
+            if stats then Format.printf "  %a@." Stats.pp Stats.global;
+            if o.Mulop.findings <> [] then
+              Format.printf "  %a@." Diagnostic.pp_list o.Mulop.findings;
+            all_findings := !all_findings @ o.Mulop.findings)
+          [ Mulop.Mulop_ii; Mulop.Mulop_dc; Mulop.Mulop_dc_ii ];
+        if Diagnostic.errors !all_findings <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run all three algorithms on one target and compare counts.")
     Term.(
-      const compare $ target $ lut_size $ stats $ timeout_arg $ node_budget_arg
-      $ effort_arg)
+      const compare $ target $ lut_size $ stats $ check_arg $ timeout_arg
+      $ node_budget_arg $ effort_arg)
+
+let lint_cmd =
+  let target =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A $(b,.blif) file (network structure passes) or a $(b,.pla) \
+             file (two-level hygiene passes).  May be omitted with \
+             $(b,--codes).")
+  in
+  let lut_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k"; "lut-size" ] ~docv:"K"
+          ~doc:
+            "Arm the NET005 width pass: report LUTs with more than $(docv) \
+             inputs.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit findings as a JSON array instead of text.")
+  in
+  let codes =
+    Arg.(
+      value & flag
+      & info [ "codes" ]
+          ~doc:"List every diagnostic code with severity and description.")
+  in
+  let no_style =
+    Arg.(
+      value & flag
+      & info [ "no-style" ]
+          ~doc:
+            "Only run the structural (Error-level) passes; skip dead-LUT, \
+             duplicate-LUT and degenerate-table warnings.")
+  in
+  let lint target lut_size json codes no_style =
+    setup_logs false;
+    if codes then begin
+      List.iter
+        (fun (code, sev, doc) ->
+          Format.printf "%-8s %-8s %s@." code (Diagnostic.severity_name sev)
+            doc)
+        Diagnostic.catalogue;
+      exit 0
+    end;
+    let target =
+      match target with
+      | Some t -> t
+      | None ->
+          Printf.eprintf "mfd lint: a FILE argument is required (or --codes)\n";
+          exit 3
+    in
+    let style = not no_style in
+    let analyze () =
+      if Filename.check_suffix target ".blif" then
+        let net = Blif.parse_file target in
+        Net_check.analyze ?lut_size ~style net
+      else if Filename.check_suffix target ".pla" then
+        let pla = Pla.parse_file target in
+        Pla_check.analyze (Bdd.manager ()) pla
+      else begin
+        Printf.eprintf "mfd lint: %s: expected a .blif or .pla file\n" target;
+        exit 3
+      end
+    in
+    match analyze () with
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 3
+    | exception Blif.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" target line msg;
+        exit 3
+    | exception Pla.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" target line msg;
+        exit 3
+    | findings ->
+        if json then print_string (Diagnostic.to_json findings)
+        else Format.printf "%a@." Diagnostic.pp_list findings;
+        exit (Diagnostic.exit_code findings)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes over a BLIF network or a PLA file."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "$(b,0) on a clean file (or Info-level findings only);";
+           `P "$(b,1) when any Error-level finding is present;";
+           `P "$(b,2) when Warnings but no Errors are present;";
+           `P "$(b,3) on parse or I/O failure.";
+         ])
+    Term.(const lint $ target $ lut_size $ json $ codes $ no_style)
 
 let () =
   let doc = "multi-output functional decomposition with don't cares" in
   let info = Cmd.info "mfd" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; compare_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; compare_cmd; lint_cmd ]))

@@ -54,10 +54,10 @@ let parse text =
         match tokens with
         | ".model" :: _ -> scan rest
         | ".inputs" :: names ->
-            inputs := !inputs @ names;
+            inputs := !inputs @ List.map (fun n -> (ln, n)) names;
             scan rest
         | ".outputs" :: names ->
-            outputs := !outputs @ names;
+            outputs := !outputs @ List.map (fun n -> (ln, n)) names;
             scan rest
         | [ ".end" ] -> ()
         | ".names" :: signals -> (
@@ -102,10 +102,26 @@ let parse text =
   (* Instantiate on demand: .names blocks may appear in any order. *)
   let net = Network.create () in
   let by_output = Hashtbl.create 16 in
-  List.iter (fun b -> Hashtbl.replace by_output b.nb_output b) blocks;
+  List.iter
+    (fun b ->
+      (match Hashtbl.find_opt by_output b.nb_output with
+      | Some prev ->
+          fail b.nb_line
+            (Printf.sprintf "duplicate .names block for %s (first at line %d)"
+               b.nb_output prev.nb_line)
+      | None -> ());
+      Hashtbl.replace by_output b.nb_output b)
+    blocks;
   let resolved : (string, Network.signal) Hashtbl.t = Hashtbl.create 16 in
   List.iter
-    (fun name -> Hashtbl.replace resolved name (Network.add_input net name))
+    (fun (ln, name) ->
+      if Hashtbl.mem resolved name then
+        fail ln (Printf.sprintf "duplicate input %s" name);
+      (match Hashtbl.find_opt by_output name with
+      | Some b ->
+          fail b.nb_line (Printf.sprintf ".names redefines input %s" name)
+      | None -> ());
+      Hashtbl.replace resolved name (Network.add_input net name))
     !inputs;
   let rec resolve stack name =
     match Hashtbl.find_opt resolved name with
@@ -144,7 +160,14 @@ let parse text =
         Hashtbl.replace resolved name s;
         s
   in
-  List.iter (fun name -> Network.set_output net name (resolve [] name)) !outputs;
+  let seen_out = Hashtbl.create 16 in
+  List.iter
+    (fun (ln, name) ->
+      if Hashtbl.mem seen_out name then
+        fail ln (Printf.sprintf "duplicate output %s" name);
+      Hashtbl.add seen_out name ();
+      Network.set_output net name (resolve [] name))
+    !outputs;
   net
 
 let parse_file path =

@@ -6,7 +6,10 @@ exception Parse_error of int * string
 (** Line number and message. *)
 
 val parse : string -> Network.t
-(** Parse BLIF text into a network.
+(** Parse BLIF text into a network.  Duplicate [.inputs]/[.outputs]
+    names, duplicate [.names] blocks for the same signal, and a
+    [.names] block redefining an input are all rejected (the silent
+    last-wins resolution of some readers hides real netlist bugs).
     @raise Parse_error on malformed input. *)
 
 val parse_file : string -> Network.t

@@ -1,0 +1,120 @@
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : string option;
+  message : string;
+}
+
+let catalogue =
+  [
+    ("NET001", Error, "LUT fanin references a signal outside the network");
+    ("NET002", Error, "truth-table arity differs from the fanin count");
+    ("NET003", Error, "fanin does not precede its LUT (cycle or order violation)");
+    ("NET004", Error, "output is bound to a signal outside the network");
+    ("NET005", Error, "LUT fanin count exceeds the configured LUT size");
+    ("NET006", Warning, "dead LUT: not reachable from any output (sweep removes it)");
+    ("NET007", Warning, "structurally duplicate LUTs (same fanins and table)");
+    ("NET008", Info, "degenerate LUT: constant table or single-input buffer");
+    ("NET009", Error, "duplicate primary-input name");
+    ("NET010", Error, "duplicate primary-output name");
+    ("DEC001", Error, "ill-formed ISF: on-set and don't-care set intersect");
+    ("DEC002", Error, "don't-care phase result does not refine its input ISF");
+    ("DEC003", Error, "committed symmetry group is not actually symmetric");
+    ("DEC004", Error, "improper clique cover: incompatible classes merged");
+    ("DEC005", Error, "class encoding is not injective on class representatives");
+    ("DEC006", Error, "decomposition-function count differs from ceil(log2 ncc)");
+    ("DEC007", Error, "committed step is not equivalent to its spec under the care set");
+    ("DEC008", Error, "emitted LUT table does not realize its ISF");
+    ("PLA001", Warning, "PLA cube asserts an output both on and off");
+    ("PLA002", Error, "duplicate signal name in .ilb/.ob");
+  ]
+
+let severity_of_code code =
+  List.find_map
+    (fun (c, s, _) -> if c = code then Some s else None)
+    catalogue
+
+let make ?loc code message =
+  match severity_of_code code with
+  | Some severity -> { code; severity; loc; message }
+  | None -> invalid_arg (Printf.sprintf "Diagnostic.make: unknown code %s" code)
+
+let count sev fs = List.length (List.filter (fun f -> f.severity = sev) fs)
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+
+let max_severity fs =
+  List.fold_left
+    (fun acc f ->
+      match (acc, f.severity) with
+      | Some Error, _ | _, Error -> Some Error
+      | Some Warning, _ | _, Warning -> Some Warning
+      | _ -> Some Info)
+    None fs
+
+let exit_code fs =
+  match max_severity fs with
+  | Some Error -> 1
+  | Some Warning -> 2
+  | Some Info | None -> 0
+
+let pp fmt f =
+  Format.fprintf fmt "%s[%s]%s: %s" (severity_name f.severity) f.code
+    (match f.loc with Some l -> " " ^ l | None -> "")
+    f.message
+
+let pp_list fmt = function
+  | [] -> Format.fprintf fmt "clean: no findings"
+  | fs ->
+      Format.fprintf fmt "@[<v>";
+      List.iter (fun f -> Format.fprintf fmt "%a@," pp f) fs;
+      Format.fprintf fmt "%d error(s), %d warning(s), %d info@]"
+        (count Error fs) (count Warning fs) (count Info fs)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json fs =
+  let field k v = Printf.sprintf "\"%s\":%s" k v in
+  let quote s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let one f =
+    String.concat ","
+      [
+        field "code" (quote f.code);
+        field "severity" (quote (severity_name f.severity));
+        field "loc" (match f.loc with Some l -> quote l | None -> "null");
+        field "message" (quote f.message);
+      ]
+  in
+  "[" ^ String.concat "," (List.map (fun f -> "{" ^ one f ^ "}") fs) ^ "]"
+
+type level = Off | Cheap | Full
+
+let level_name = function Off -> "off" | Cheap -> "cheap" | Full -> "full"
+
+let level_of_string = function
+  | "off" -> Ok Off
+  | "cheap" -> Ok Cheap
+  | "full" -> Ok Full
+  | s -> Error (Printf.sprintf "unknown check level %S (off|cheap|full)" s)
+
+let rank = function Off -> 0 | Cheap -> 1 | Full -> 2
+let at_least level threshold = rank level >= rank threshold

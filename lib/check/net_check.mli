@@ -1,0 +1,21 @@
+(** Static-analysis passes over LUT networks.
+
+    Two families of passes run over {e all} allocated nodes (not just
+    the reachable cone, so corruption in dead logic is still found):
+
+    - {e structural} passes ([NET001]-[NET005], [NET009], [NET010]):
+      dangling fanins, truth-table/fanin arity mismatches, topological
+      (cycle) violations, undriven outputs, LUTs wider than the
+      configured LUT size, duplicate input/output names.  All are
+      [Error]s: a network failing one of these is outside the data
+      structure's contract and most other operations on it are
+      undefined.
+    - {e style} passes ([NET006]-[NET008]): dead LUTs, structural
+      duplicates, degenerate (constant/buffer) tables.  These are
+      legal but indicate a missed [sweep] or a foreign producer; they
+      only run when the structural passes found no error, because they
+      need a traversable network. *)
+
+val analyze : ?lut_size:int -> ?style:bool -> Network.t -> Diagnostic.t list
+(** All findings, in node order.  [lut_size] arms the [NET005] width
+    pass; [style] (default [true]) enables the style family. *)

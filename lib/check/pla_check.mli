@@ -1,0 +1,11 @@
+(** Hygiene passes for two-level (PLA) inputs ([PLA*] codes).
+
+    The PLA reader is deliberately forgiving — overlapping cubes with
+    conflicting output-plane values are resolved in favour of the
+    on-set, exactly as espresso does.  [mfd lint] surfaces what the
+    reader silently resolved. *)
+
+val analyze : Bdd.manager -> Pla.t -> Diagnostic.t list
+(** [PLA001] per output whose on-rows and off-rows overlap (only
+    meaningful for [.type fr]/[fdr], where ['0'] entries assert the
+    off-set); [PLA002] for duplicate [.ilb]/[.ob] names. *)

@@ -25,6 +25,7 @@ type report = {
   shannon_count : int;
   alpha_count : int;
   degraded_to : Budget.stage;
+  findings : Diagnostic.t list;
 }
 
 let src = Logs.Src.create "mfd.driver" ~doc:"decomposition driver"
@@ -38,8 +39,31 @@ type sink = Output of string | Alpha_var of int
 
 type item = { sink : sink; isf : Isf.t; shannon_depth : int }
 
-let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec =
+let sink_name = function
+  | Output name -> "output " ^ name
+  | Alpha_var v -> Printf.sprintf "alpha a%d" (-v)
+
+let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
+    ?(checks = Diagnostic.Off) m spec =
   let cfg = Budget.apply_effort budget cfg in
+  (* The [--check] assertion layer: pure observers at the driver's phase
+     boundaries.  [cheap] covers the bookkeeping invariants, [full] adds
+     the BDD-equivalence obligations.  Findings are collected (and
+     mirrored into {!Stats}), never raised — a checked run produces the
+     same network as an unchecked one. *)
+  let cheap = Diagnostic.at_least checks Diagnostic.Cheap in
+  let full = Diagnostic.at_least checks Diagnostic.Full in
+  let findings = ref [] in
+  let emit_finding d =
+    findings := d :: !findings;
+    Stats.add_finding Stats.global
+      ~severity:(Diagnostic.severity_name d.Diagnostic.severity)
+      ~code:d.Diagnostic.code
+      ~message:
+        (match d.Diagnostic.loc with
+        | Some l -> l ^ ": " ^ d.Diagnostic.message
+        | None -> d.Diagnostic.message)
+  in
   (* Degraded view of the configuration: each budget-degradation stage
      turns off the don't-care phase it names.  [lut_size] never changes,
      so the emission helpers below can keep capturing [cfg]. *)
@@ -96,6 +120,13 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec
            { sink = Output name; isf; shannon_depth = 0 })
          spec.functions)
   in
+  if cheap then
+    List.iter
+      (fun (name, isf) ->
+        Option.iter emit_finding
+          (Invariant.well_formed_parts m ~where:("spec output " ^ name)
+             ~on:(Isf.on isf) ~dc:(Isf.dc isf)))
+      spec.functions;
   let step_count = ref 0 and shannon_count = ref 0 and alpha_count = ref 0 in
   let bound_var v = Hashtbl.mem signal_of_var v in
   let signal v = Hashtbl.find signal_of_var v in
@@ -118,6 +149,11 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec
                 let rec pos k = if sup_arr.(k) = v then k else pos (k + 1) in
                 (idx lsr pos 0) land 1 = 1))
       in
+      if full then
+        Option.iter emit_finding
+          (Invariant.check_lut_realizes m
+             ~where:("emit " ^ sink_name item.sink)
+             item.isf ~support:sup ~tt);
       let s = Network.add_lut net ~fanins:(List.map signal sup) ~tt in
       bind item.sink s;
       true
@@ -201,6 +237,10 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec
                       let rec pos k = if sup_arr.(k) = v then k else pos (k + 1) in
                       (idx lsr pos 0) land 1 = 1))
             in
+            if full then
+              Option.iter emit_finding
+                (Invariant.check_lut_realizes m ~where:"mux-tree leaf" isf
+                   ~support:sup ~tt);
             Network.add_lut net ~fanins:(List.map signal sup) ~tt
           end
           else begin
@@ -318,6 +358,7 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec
        per the paper step 3 would not preserve them anyway). *)
     let isfs =
       if cfg.Config.dc_steps.Config.symmetry && bound <> [] then begin
+        let committed_groups = ref [] in
         let commit fs group =
           let inside = List.filter (fun (v, _) -> List.mem v bound) group in
           if List.length inside < 2 then fs
@@ -340,11 +381,29 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec
                        fs' bound
                      < Bound_select.score ~cache ~lut_size:cfg.Config.lut_size
                          m fs bound
-                then fs'
+                then begin
+                  committed_groups := inside :: !committed_groups;
+                  fs'
+                end
                 else fs
             | None -> fs
         in
-        Array.of_list (List.fold_left commit (Array.to_list isfs) groups)
+        let committed = List.fold_left commit (Array.to_list isfs) groups in
+        if cheap then
+          List.iteri
+            (fun i fine ->
+              Option.iter emit_finding
+                (Invariant.check_refines m ~where:"symmetry-commit"
+                   ~coarse:isfs.(i) ~fine))
+            committed;
+        if full then
+          List.iter
+            (fun group ->
+              Option.iter emit_finding
+                (Invariant.check_group_symmetric m ~where:"symmetry-commit"
+                   committed group))
+            !committed_groups;
+        Array.of_list committed
       end
       else isfs
     in
@@ -364,7 +423,10 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec
         let before_sizes =
           Array.map (fun f -> List.length (Isf.support m f)) isfs
         in
-        let result = Step.run ~budget m cfg ~fresh_var isfs ~bound in
+        let result =
+          Step.run ~budget ~checks ~emit:emit_finding m cfg ~fresh_var isfs
+            ~bound
+        in
         let progressed = ref false in
         Array.iteri
           (fun i g ->
@@ -387,6 +449,21 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec
               !progressed);
         if !progressed then
           Budget.exempt budget (fun () ->
+              if full then begin
+                let subs =
+                  List.map
+                    (fun { Step.var; func; _ } -> (var, func))
+                    result.Step.alphas
+                in
+                Array.iteri
+                  (fun i g ->
+                    Option.iter emit_finding
+                      (Invariant.check_composition m
+                         ~where:
+                           (Printf.sprintf "step %d output %d" !step_count i)
+                         ~subs ~g ~spec:isfs.(i)))
+                  result.Step.g
+              end;
               List.iter
                 (fun { Step.var; func; _ } ->
                   incr alpha_count;
@@ -400,6 +477,11 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec
                               in
                               (idx lsr pos 0) land 1 = 1))
                     in
+                    if full then
+                      Option.iter emit_finding
+                        (Invariant.check_lut_equals m
+                           ~where:(Printf.sprintf "alpha a%d" (-var))
+                           func ~support:bound ~tt);
                     let s =
                       Network.add_lut net ~fanins:(List.map signal bound) ~tt
                     in
@@ -510,16 +592,20 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited) m spec
     end
   in
   loop 0;
+  if cheap then
+    List.iter emit_finding
+      (Net_check.analyze ~lut_size:cfg.Config.lut_size ~style:false net);
   {
     network = net;
     step_count = !step_count;
     shannon_count = !shannon_count;
     alpha_count = !alpha_count;
     degraded_to = Budget.stage budget;
+    findings = List.rev !findings;
   }
 
-let decompose ?cfg ?budget m spec =
-  (decompose_report ?cfg ?budget m spec).network
+let decompose ?cfg ?budget ?checks m spec =
+  (decompose_report ?cfg ?budget ?checks m spec).network
 
 let verify m spec net =
   let var_of_input =

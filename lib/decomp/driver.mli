@@ -45,11 +45,20 @@ type report = {
   degraded_to : Budget.stage;
       (** [Budget.Full] unless the run exceeded its budget; otherwise
           the last degradation stage reached *)
+  findings : Diagnostic.t list;
+      (** assertion-layer findings, in the order they fired; always
+          empty with [checks = Off] (the default) *)
 }
 
 val spec_of_csf : Bdd.manager -> string list -> (string * Bdd.t) list -> spec
 
-val decompose : ?cfg:Config.t -> ?budget:Budget.t -> Bdd.manager -> spec -> Network.t
+val decompose :
+  ?cfg:Config.t ->
+  ?budget:Budget.t ->
+  ?checks:Diagnostic.level ->
+  Bdd.manager ->
+  spec ->
+  Network.t
 (** The resulting network has one LUT per decomposition/composition
     function, every LUT with at most [cfg.lut_size] inputs, and realizes
     an extension of every specified output.  [budget] (default
@@ -57,7 +66,25 @@ val decompose : ?cfg:Config.t -> ?budget:Budget.t -> Bdd.manager -> spec -> Netw
     single-use — create a fresh one per call. *)
 
 val decompose_report :
-  ?cfg:Config.t -> ?budget:Budget.t -> Bdd.manager -> spec -> report
+  ?cfg:Config.t ->
+  ?budget:Budget.t ->
+  ?checks:Diagnostic.level ->
+  Bdd.manager ->
+  spec ->
+  report
+(** Like {!decompose} but returns the run's counters, and with [checks]
+    above [Off] runs the assertion layer: at [Cheap], ISF
+    well-formedness on entry ([DEC001]), refinement after every
+    symmetry commitment ([DEC002]), the step's internal bookkeeping
+    ([DEC004]–[DEC006]) and a structural {!Net_check} pass over the
+    final network ([NET*]); at [Full], additionally BDD-equivalence
+    obligations — committed symmetric groups really are symmetric
+    ([DEC003]), every committed step composes back to a refinement of
+    its specification ([DEC007]) and every emitted LUT table matches
+    the function it was derived from ([DEC008]).  Checks are pure
+    observers: findings are reported in [findings] (and mirrored into
+    {!Stats.global}), and the produced network is identical to an
+    unchecked run's. *)
 
 val verify : Bdd.manager -> spec -> Network.t -> bool
 (** Every output of the network extends the corresponding ISF of the

@@ -10,6 +10,7 @@ type outcome = {
   shannon_count : int;
   alpha_count : int;
   degraded_to : Budget.stage;
+  findings : Diagnostic.t list;
 }
 
 let algorithm_name = function
@@ -21,9 +22,9 @@ let config_of ?(lut_size = 5) = function
   | Mulop_ii -> Config.with_lut_size lut_size Config.mulop_ii
   | Mulop_dc | Mulop_dc_ii -> Config.with_lut_size lut_size Config.mulop_dc
 
-let run ?lut_size ?budget m algorithm spec =
+let run ?lut_size ?budget ?checks m algorithm spec =
   let cfg = config_of ?lut_size algorithm in
-  let report = Driver.decompose_report ~cfg ?budget m spec in
+  let report = Driver.decompose_report ~cfg ?budget ?checks m spec in
   let net = Network.sweep report.Driver.network in
   let stats = Network.stats net in
   let policy =
@@ -41,6 +42,7 @@ let run ?lut_size ?budget m algorithm spec =
     shannon_count = report.Driver.shannon_count;
     alpha_count = report.Driver.alpha_count;
     degraded_to = report.Driver.degraded_to;
+    findings = report.Driver.findings;
   }
 
 let pp_outcome fmt o =
@@ -49,6 +51,15 @@ let pp_outcome fmt o =
     o.shannon_count;
   (* Keep ungoverned output byte-identical: the stage only shows up when
      a budget actually degraded the run. *)
-  match o.degraded_to with
+  (match o.degraded_to with
   | Budget.Full -> ()
-  | stage -> Format.fprintf fmt " degraded=%s" (Budget.stage_name stage)
+  | stage -> Format.fprintf fmt " degraded=%s" (Budget.stage_name stage));
+  (* Same policy for the assertion layer: silent unless it found
+     something. *)
+  match o.findings with
+  | [] -> ()
+  | fs ->
+      Format.fprintf fmt " findings=%dE/%dW/%dI"
+        (Diagnostic.count Diagnostic.Error fs)
+        (Diagnostic.count Diagnostic.Warning fs)
+        (Diagnostic.count Diagnostic.Info fs)

@@ -16,6 +16,9 @@ type outcome = {
   alpha_count : int;
   degraded_to : Budget.stage;
       (** [Budget.Full] unless the run's budget forced a degradation *)
+  findings : Diagnostic.t list;
+      (** assertion-layer findings ({!Driver.decompose_report});
+          always empty with [checks = Off] *)
 }
 
 val algorithm_name : algorithm -> string
@@ -24,14 +27,17 @@ val config_of : ?lut_size:int -> algorithm -> Config.t
 val run :
   ?lut_size:int ->
   ?budget:Budget.t ->
+  ?checks:Diagnostic.level ->
   Bdd.manager ->
   algorithm ->
   Driver.spec ->
   outcome
 (** Decompose [spec] with the given algorithm and sweep the result.
     [budget] (default {!Budget.unlimited}) is single-use — pass a fresh
-    one per call. *)
+    one per call.  [checks] (default [Off]) enables the driver's
+    assertion layer; checks never change the produced network. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One-line summary; appends [degraded=<stage>] only when the run was
-    degraded, so ungoverned output is unchanged. *)
+    degraded and [findings=...] only when the assertion layer reported
+    something, so ungoverned clean output is unchanged. *)

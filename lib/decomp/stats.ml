@@ -10,6 +10,7 @@ type t = {
   mutable evicted : int;
   mutable budget_checks : int;
   mutable degradations : (string * string * string) list;
+  mutable findings : (string * string * string) list;
   phases : (string, float) Hashtbl.t;
 }
 
@@ -26,6 +27,7 @@ let create () =
     evicted = 0;
     budget_checks = 0;
     degradations = [];
+    findings = [];
     phases = Hashtbl.create 8;
   }
 
@@ -43,12 +45,18 @@ let reset t =
   t.evicted <- 0;
   t.budget_checks <- 0;
   t.degradations <- [];
+  t.findings <- [];
   Hashtbl.reset t.phases
 
 let add_degradation t ~stage ~reason ~where =
   t.degradations <- (stage, reason, where) :: t.degradations
 
 let degradations t = List.rev t.degradations
+
+let add_finding t ~severity ~code ~message =
+  t.findings <- (severity, code, message) :: t.findings
+
+let findings t = List.rev t.findings
 
 let add_phase t name dt =
   Hashtbl.replace t.phases name
@@ -96,6 +104,18 @@ let pp fmt t =
         (fun (stage, reason, where) ->
           Format.fprintf fmt "@,  -> %-14s (%s exceeded in %s)" stage reason where)
         ds;
+      Format.fprintf fmt "@]");
+  (match findings t with
+  | [] -> ()
+  | fs ->
+      let sev name = List.length (List.filter (fun (s, _, _) -> s = name) fs) in
+      Format.fprintf fmt
+        "@,@[<v>check findings: %d error(s), %d warning(s), %d info"
+        (sev "error") (sev "warning") (sev "info");
+      List.iter
+        (fun (severity, code, message) ->
+          Format.fprintf fmt "@,  %s[%s] %s" severity code message)
+        fs;
       Format.fprintf fmt "@]");
   let phases =
     Hashtbl.fold (fun name dt acc -> (name, dt) :: acc) t.phases []

@@ -22,6 +22,11 @@ type t = {
   mutable degradations : (string * string * string) list;
       (** budget degradation events, newest first:
           [(stage entered, resource exceeded, where it was detected)] *)
+  mutable findings : (string * string * string) list;
+      (** [--check] assertion-layer findings, newest first:
+          [(severity, code, message)] — the typed findings live in the
+          driver report; these mirrors keep [Stats] free of a [Check]
+          dependency *)
   phases : (string, float) Hashtbl.t;  (** per-phase wall time, seconds *)
 }
 
@@ -38,6 +43,12 @@ val add_degradation : t -> stage:string -> reason:string -> where:string -> unit
 
 val degradations : t -> (string * string * string) list
 (** Degradation events in the order they fired. *)
+
+val add_finding : t -> severity:string -> code:string -> message:string -> unit
+(** Record one assertion-layer finding (driver [--check] hooks). *)
+
+val findings : t -> (string * string * string) list
+(** Findings in the order they fired, as [(severity, code, message)]. *)
 
 val score_misses : t -> int
 val score_hit_rate : t -> float

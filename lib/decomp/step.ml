@@ -128,7 +128,9 @@ let canonicalize_colors colors =
           c')
     colors
 
-let run ?(budget = Budget.unlimited) m cfg ~fresh_var isfs ~bound =
+let run ?(budget = Budget.unlimited) ?(checks = Diagnostic.Off)
+    ?(emit = fun (_ : Diagnostic.t) -> ()) m cfg ~fresh_var isfs ~bound =
+  let checking = Diagnostic.at_least checks Diagnostic.Cheap in
   let clock = Stats.clock Stats.global in
   let phase name =
     let dt = Stats.mark clock ("step/" ^ name) in
@@ -151,6 +153,9 @@ let run ?(budget = Budget.unlimited) m cfg ~fresh_var isfs ~bound =
           (merge_coloring ~budget m cfg g (fun v ->
                Array.to_list info.Classes.node_cof.(v)))
       in
+      if checking then
+        Option.iter emit
+          (Invariant.check_proper_cover g colors ~where:"step2/joint-cover");
       (colors, Coloring.color_count colors)
     end
     else (Array.init nnodes Fun.id, nnodes)
@@ -177,6 +182,10 @@ let run ?(budget = Budget.unlimited) m cfg ~fresh_var isfs ~bound =
             canonicalize_colors
               (merge_coloring ~budget m cfg g (fun jc -> [ joint_cof.(i).(jc) ]))
           in
+          if checking then
+            Option.iter emit
+              (Invariant.check_proper_cover g colors
+                 ~where:(Printf.sprintf "step3/output-%d-cover" i));
           (colors, Coloring.color_count colors)
         end
         else classes_by_equality joint_cof.(i))
@@ -205,7 +214,12 @@ let run ?(budget = Budget.unlimited) m cfg ~fresh_var isfs ~bound =
   in
   phase "out-cof";
   let enc = Encode.encode specs in
-  assert (Encode.check specs enc);
+  if not (Encode.check specs enc) then
+    if checking then
+      emit
+        (Diagnostic.make ~loc:"step/encode" "DEC005"
+           "codes are not distinct per output, or an alpha is not strict")
+    else assert false;
   phase "encode";
   (* ---- alphas as BDDs over the bound variables *)
   let zero = Bdd.zero m and one = Bdd.one m in
@@ -242,6 +256,14 @@ let run ?(budget = Budget.unlimited) m cfg ~fresh_var isfs ~bound =
   in
   phase "g-construction";
   let r = Array.map (fun e -> List.length e.Encode.alpha_ids) enc.Encode.outputs in
+  if checking then
+    Array.iteri
+      (fun i ri ->
+        Option.iter emit
+          (Invariant.check_alpha_count
+             ~where:(Printf.sprintf "step/encode output %d" i)
+             ~nclasses:(snd per_output.(i)) ~r:ri))
+      r;
   (* Keep only alphas actually used by some output (an output with K=1
      uses none). *)
   let used = Array.make (Array.length var_of_pool) false in

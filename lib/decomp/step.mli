@@ -30,6 +30,8 @@ type result = {
 
 val run :
   ?budget:Budget.t ->
+  ?checks:Diagnostic.level ->
+  ?emit:(Diagnostic.t -> unit) ->
   Bdd.manager ->
   Config.t ->
   fresh_var:(unit -> int) ->
@@ -42,7 +44,13 @@ val run :
     polled at every internal phase boundary and once per vertex of the
     class-merging colorings; {!Budget.Out_of_budget} can only escape
     {e before} anything is emitted — the step itself is pure, all
-    commitment happens in the driver. *)
+    commitment happens in the driver.
+
+    With [checks] at [Cheap] or above (default [Off]), the step's
+    internal invariants are verified and violations reported through
+    [emit] (default: drop): proper clique covers ([DEC004]), injective
+    encodings ([DEC005]) and the [ceil(log2 ncc)] function count
+    ([DEC006]).  The checks never change the result. *)
 
 val total_alpha_lower_bound : result -> int
 (** [ceil(log2 joint_classes)] — the paper's lower bound on the total

@@ -141,6 +141,30 @@ let inputs t = List.rev t.input_list
 let outputs t = List.rev t.output_list
 let signal_equal (a : signal) b = a = b
 let signal_id (s : signal) : int = s
+let node_count t = t.used
+
+let signal_of_id t i =
+  if i < 0 || i >= t.used then invalid_arg "Network.signal_of_id: out of range";
+  i
+
+let view t s =
+  match t.nodes.(s) with
+  | Input name -> `Input name
+  | Const b -> `Const b
+  | Lut { fanins; tt } -> `Lut (Array.copy fanins, tt)
+
+module Unsafe = struct
+  let signal (i : int) : signal = i
+
+  let set_lut t s ~fanins ~tt = t.nodes.(s) <- Lut { fanins = Array.copy fanins; tt }
+
+  let alias_input t name s = t.input_list <- (name, s) :: t.input_list
+  let alias_output t name s = t.output_list <- (name, s) :: t.output_list
+
+  let redirect_output t name s =
+    t.output_list <-
+      List.map (fun (n, s0) -> if n = name then (n, s) else (n, s0)) t.output_list
+end
 
 let fanins t s =
   match t.nodes.(s) with

@@ -46,6 +46,42 @@ val signal_equal : signal -> signal -> bool
 val signal_id : signal -> int
 (** Stable integer id of a node, usable as a hash key or a name seed. *)
 
+val node_count : t -> int
+(** Number of allocated nodes (including dead ones); valid signal ids
+    are [0 .. node_count - 1]. *)
+
+val signal_of_id : t -> int -> signal
+(** Inverse of {!signal_id}.
+    @raise Invalid_argument when the id is out of range. *)
+
+val view : t -> signal -> [ `Input of string | `Const of bool | `Lut of signal array * Bv.t ]
+(** Raw node contents, for analyzers ({!Check} passes).  The fanin array
+    is a copy; the signals in it are {e not} validated — a corrupted
+    network may reference ids outside [0 .. node_count - 1]. *)
+
+(** Deliberately unchecked mutations.  These can (and are meant to)
+    corrupt a network: they exist so that the static-analysis passes of
+    [Check] can be exercised on seeded faults in tests.  Never use them
+    in synthesis code — all invariants maintained by the checked
+    constructors (arity, range, topological order, name uniqueness,
+    structural hashing) are bypassed. *)
+module Unsafe : sig
+  val signal : int -> signal
+  (** Forge a signal from a raw id, without range validation. *)
+
+  val set_lut : t -> signal -> fanins:signal array -> tt:Bv.t -> unit
+  (** Overwrite a node in place with an arbitrary LUT. *)
+
+  val alias_input : t -> string -> signal -> unit
+  (** Append an input-list entry, allowing duplicate names. *)
+
+  val alias_output : t -> string -> signal -> unit
+  (** Append an output-list entry, allowing duplicate names. *)
+
+  val redirect_output : t -> string -> signal -> unit
+  (** Repoint a declared output at an arbitrary (unvalidated) signal. *)
+end
+
 val fanins : t -> signal -> signal list
 (** Empty for inputs and constants. *)
 

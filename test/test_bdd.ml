@@ -237,4 +237,4 @@ let oracle_props =
 
 let suite =
   basic_tests
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) oracle_props
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) oracle_props

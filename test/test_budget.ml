@@ -219,4 +219,4 @@ let props =
 
 let suite =
   governor_tests @ degradation_tests @ parser_tests
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props

@@ -130,4 +130,4 @@ let props =
           (List.init 16 Fun.id));
   ]
 
-let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
+let suite = unit_tests @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props

@@ -488,6 +488,6 @@ let suite =
   @ [ scoring_mode_regression ]
   @ stats_tests @ clb_tests
   @ List.map
-      (QCheck_alcotest.to_alcotest ~long:false)
+      (fun p -> QCheck_alcotest.to_alcotest ~long:false p)
       (classes_props @ encode_props @ score_cache_props
       @ [ step_recompose_prop ] @ driver_props)

@@ -161,4 +161,4 @@ let props =
         && (Network.stats net).Network.lut_count <= (2 * Bdd.size f) + 4);
   ]
 
-let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
+let suite = unit_tests @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props

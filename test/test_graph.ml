@@ -151,4 +151,4 @@ let props =
         Matching.size (Matching.maximum g) >= Matching.size (Matching.greedy g));
   ]
 
-let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
+let suite = unit_tests @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props

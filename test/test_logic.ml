@@ -157,7 +157,7 @@ let isf_props =
 
 let suite =
   bv_tests @ cover_tests @ isf_tests
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) (cover_props @ isf_props)
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) (cover_props @ isf_props)
 
 (* Two-level minimization. *)
 let minimize_tests =
@@ -241,4 +241,4 @@ let minimize_props =
 
 let suite =
   suite @ minimize_tests
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) minimize_props
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) minimize_props

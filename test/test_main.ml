@@ -14,4 +14,5 @@ let () =
       ("reorder", Test_reorder.suite);
       ("extra", Test_extra.suite);
       ("budget", Test_budget.suite);
+      ("check", Test_check.suite);
     ]

@@ -142,4 +142,4 @@ let props =
         result.Step.joint_classes <= csf_classes);
   ]
 
-let suite = List.map (QCheck_alcotest.to_alcotest ~long:false) props
+let suite = List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props

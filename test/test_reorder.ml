@@ -142,4 +142,4 @@ let props =
         end);
   ]
 
-let suite = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
+let suite = unit_tests @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props

@@ -203,4 +203,4 @@ let props =
 
 let suite =
   detection_tests @ symmetrize_tests
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props
