@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- quick    -- skip the slowest circuits
 
    Sections: table1 table2 figure2 figure3 ablation governor check robdd
-   timing
+   batch timing
 
    Paper-vs-measured records land in EXPERIMENTS.md; this executable
    prints the measured side next to the reference values that the
@@ -34,8 +34,14 @@ let hr title =
 (* The circuits whose decomposition is slowest; skipped under `quick`. *)
 let slow_circuits = [ "C499"; "C880"; "rot"; "count"; "e64" ]
 
+(* The stats instance of the section currently running: the harness is
+   single-threaded (the batch section's worker domains create their own
+   per-job stats inside Batch), so one slot the section wrapper swaps
+   per section is enough to aggregate every run a section performs. *)
+let section_stats = ref (Stats.create ())
+
 let run_driver m cfg spec =
-  let report = Driver.decompose_report ~cfg m spec in
+  let report = Driver.decompose_report ~cfg ~stats:!section_stats m spec in
   Network.sweep report.Driver.network
 
 let table1 quick =
@@ -257,12 +263,12 @@ let governor quick =
   let window, gates_per_output = if quick then (12, 24) else (16, 40) in
   let variants =
     [
-      ("unlimited", fun () -> Budget.create ());
-      ("effort quick", fun () -> Budget.create ~effort:Budget.Quick ());
-      ("timeout 1s", fun () -> Budget.create ~timeout:1.0 ());
-      ("nodes 50k", fun () -> Budget.create ~node_budget:50_000 ());
-      ("nodes 5k", fun () -> Budget.create ~node_budget:5_000 ());
-      ("timeout 0s", fun () -> Budget.create ~timeout:0.0 ());
+      ("unlimited", fun stats -> Budget.create ~stats ());
+      ("effort quick", fun stats -> Budget.create ~effort:Budget.Quick ~stats ());
+      ("timeout 1s", fun stats -> Budget.create ~timeout:1.0 ~stats ());
+      ("nodes 50k", fun stats -> Budget.create ~node_budget:50_000 ~stats ());
+      ("nodes 5k", fun stats -> Budget.create ~node_budget:5_000 ~stats ());
+      ("timeout 0s", fun stats -> Budget.create ~timeout:0.0 ~stats ());
     ]
   in
   Printf.printf "%-14s | %6s %6s %6s | %-13s %5s | %7s\n" "budget" "luts"
@@ -274,17 +280,18 @@ let governor quick =
         Randnet.cones ~ninputs ~noutputs ~window ~gates_per_output ~seed:42 ()
       in
       let spec = Randnet.spec_of_network m net in
-      Stats.reset Stats.global;
-      let budget = make_budget () in
+      let row_stats = Stats.create () in
+      let budget = make_budget row_stats in
       let o, dt =
-        time (fun () -> Mulop.run ~budget m Mulop.Mulop_dc spec)
+        time (fun () -> Mulop.run ~budget ~stats:row_stats m Mulop.Mulop_dc spec)
       in
       assert (Driver.verify m spec o.Mulop.network);
       Printf.printf "%-14s | %6d %6d %6d | %-13s %5d | %6.1fs\n" name
         o.Mulop.lut_count o.Mulop.clb_count o.Mulop.depth
         (Budget.stage_name o.Mulop.degraded_to)
-        (List.length (Stats.degradations Stats.global))
-        dt)
+        (List.length (Stats.degradations row_stats))
+        dt;
+      Stats.merge ~into:!section_stats row_stats)
     variants;
   Printf.printf "\nall rows verified: degraded networks stay correct\n"
 
@@ -318,7 +325,8 @@ let check_overhead quick =
       let one checks =
         let m = Bdd.manager () in
         let spec = e.Mcnc.build m in
-        time (fun () -> Mulop.run ~checks m Mulop.Mulop_dc spec)
+        time (fun () ->
+            Mulop.run ~checks ~stats:!section_stats m Mulop.Mulop_dc spec)
       in
       let o_off, t_off = one Diagnostic.Off in
       let o_cheap, t_cheap = one Diagnostic.Cheap in
@@ -396,6 +404,60 @@ let robdd _quick =
   Printf.printf
     "\nshared-size totals: zeroed+sifted %d vs symmetrized+sym-sifted %d\n"
     !total_before !total_after
+
+(* ------------------------------------------------------------------ *)
+(* Batch: domain-parallel scaling over the small-circuit suite         *)
+(* ------------------------------------------------------------------ *)
+
+let batch_scaling quick =
+  hr "Batch: domain-parallel scaling (mulop-dc, n_LUT = 5)";
+  Printf.printf
+    "The whole suite decomposed by `Batch.run` with 1, 2 and 4 worker\n\
+     domains.  Every job owns its BDD manager, budget and stats, so the\n\
+     per-circuit results must be bit-identical at every domain count;\n\
+     the wall-clock speedup is bounded by the cores the host grants\n\
+     (Domain.recommended_domain_count here: %d).\n\n"
+    (Domain.recommended_domain_count ());
+  let circuits =
+    if quick then [ "rd73"; "z4ml"; "misex1"; "5xp1" ]
+    else
+      [
+        "rd73"; "rd84"; "z4ml"; "f51m"; "misex1"; "5xp1"; "clip"; "sao2";
+        "9sym"; "alu2";
+      ]
+  in
+  let job_list =
+    List.map
+      (fun name -> Batch.job ~name (fun m -> (Mcnc.find name).Mcnc.build m))
+      circuits
+  in
+  let reports =
+    List.map (fun jobs -> (jobs, Batch.run ~jobs job_list)) [ 1; 2; 4 ]
+  in
+  let counts report =
+    List.map
+      (fun r ->
+        match r.Batch.outcome with
+        | Ok s -> (r.Batch.job, s.Batch.lut_count, s.Batch.clb_count)
+        | Error msg -> failwith (r.Batch.job ^ ": " ^ msg))
+      report.Batch.results
+  in
+  let _, rep1 = List.hd reports in
+  let base = counts rep1 in
+  List.iter (fun (_, rep) -> assert (counts rep = base)) (List.tl reports);
+  Format.printf "%a@." (Batch.pp_text ~stats:false) rep1;
+  Printf.printf "%8s | %8s %8s\n" "domains" "wall" "speedup";
+  List.iter
+    (fun (jobs, rep) ->
+      Printf.printf "%8d | %7.2fs %7.2fx\n" jobs rep.Batch.wall
+        (rep1.Batch.wall /. Float.max 1e-9 rep.Batch.wall))
+    reports;
+  Printf.printf
+    "\nper-circuit LUT/CLB counts identical across 1/2/4 domains (%d circuits)\n"
+    (List.length circuits);
+  List.iter
+    (fun r -> Stats.merge ~into:!section_stats r.Batch.stats)
+    rep1.Batch.results
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches: one Test.make per table / figure           *)
@@ -479,10 +541,10 @@ let () =
   let run name f =
     let enabled, quick = section_enabled name in
     if enabled then begin
-      Stats.reset Stats.global;
+      section_stats := Stats.create ();
       let (), dt = time (fun () -> f quick) in
       Printf.printf "\n[%s stats] wall %.1fs\n%s\n" name dt
-        (Format.asprintf "%a" Stats.pp Stats.global)
+        (Format.asprintf "%a" Stats.pp !section_stats)
     end
   in
   Printf.printf
@@ -496,5 +558,6 @@ let () =
   run "governor" governor;
   run "check" check_overhead;
   run "robdd" robdd;
+  run "batch" batch_scaling;
   run "timing" timing;
   Printf.printf "\ndone.\n"

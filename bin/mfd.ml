@@ -108,10 +108,10 @@ let effort_arg =
            $(b,normal) is the default behaviour, $(b,thorough) enlarges \
            them.")
 
-(* A budget is single-use (sticky degradation stage, absolute deadline
-   anchored at attach time): build a fresh one per decomposition run. *)
-let make_budget timeout node_budget effort () =
-  Budget.create ?timeout ?node_budget ?effort ()
+(* Build a fresh budget per decomposition run, wired to the same
+   per-run stats instance the driver writes into. *)
+let make_budget timeout node_budget effort ~stats () =
+  Budget.create ?timeout ?node_budget ?effort ~stats ()
 
 let run_cmd =
   let target =
@@ -162,7 +162,7 @@ let run_cmd =
   let run target algorithm lut_size out_blif out_dot verify verbose stats
       checks timeout node_budget effort =
     setup_logs verbose;
-    Stats.reset Stats.global;
+    let run_stats = Stats.create () in
     let m = Bdd.manager () in
     match load_spec m target with
     | exception Not_found ->
@@ -178,10 +178,12 @@ let run_cmd =
         Printf.eprintf "%s:%d: %s\n" target line msg;
         exit 1
     | spec, name ->
-        let budget = make_budget timeout node_budget effort () in
-        let outcome = Mulop.run ~lut_size ~budget ~checks m algorithm spec in
+        let budget = make_budget timeout node_budget effort ~stats:run_stats () in
+        let outcome =
+          Mulop.run ~lut_size ~budget ~checks ~stats:run_stats m algorithm spec
+        in
         Format.printf "%s: %a@." name Mulop.pp_outcome outcome;
-        if stats then Format.printf "%a@." Stats.pp Stats.global;
+        if stats then Format.printf "%a@." Stats.pp run_stats;
         (match out_blif with
         | Some path -> Blif.write_file ~model:name path outcome.Mulop.network
         | None -> ());
@@ -260,11 +262,13 @@ let compare_cmd =
         let all_findings = ref [] in
         List.iter
           (fun alg ->
-            Stats.reset Stats.global;
-            let budget = make_budget timeout node_budget effort () in
-            let o = Mulop.run ~lut_size ~budget ~checks m alg spec in
+            let run_stats = Stats.create () in
+            let budget =
+              make_budget timeout node_budget effort ~stats:run_stats ()
+            in
+            let o = Mulop.run ~lut_size ~budget ~checks ~stats:run_stats m alg spec in
             Format.printf "  %a@." Mulop.pp_outcome o;
-            if stats then Format.printf "  %a@." Stats.pp Stats.global;
+            if stats then Format.printf "  %a@." Stats.pp run_stats;
             if o.Mulop.findings <> [] then
               Format.printf "  %a@." Diagnostic.pp_list o.Mulop.findings;
             all_findings := !all_findings @ o.Mulop.findings)
@@ -277,6 +281,119 @@ let compare_cmd =
     Term.(
       const compare $ target $ lut_size $ stats $ check_arg $ timeout_arg
       $ node_budget_arg $ effort_arg)
+
+let batch_cmd =
+  let targets =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"TARGETS"
+          ~doc:
+            "Benchmark names, .blif files or .pla files — one decomposition \
+             job each.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains.  Each job runs on its own BDD manager, budget \
+             and stats, so results are identical for any $(docv); the pool \
+             is clamped to the job count.")
+  in
+  let algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv Mulop.Mulop_dc
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:"One of $(b,mulopII), $(b,mulop-dc), $(b,mulop-dcII).")
+  in
+  let lut_size =
+    Arg.(value & opt int 5 & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT inputs.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the report as one JSON object instead of a table.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Re-check every produced network against its specification.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Append each job's statistics block to the table.")
+  in
+  let batch targets jobs algorithm lut_size json verify stats checks timeout
+      node_budget effort =
+    setup_logs false;
+    let job_of target =
+      let name =
+        if
+          Filename.check_suffix target ".blif"
+          || Filename.check_suffix target ".pla"
+        then Filename.basename target
+        else target
+      in
+      Batch.job ~name (fun m ->
+          match load_spec m target with
+          | spec, _ -> spec
+          | exception Not_found ->
+              failwith (Printf.sprintf "unknown benchmark %S" target)
+          | exception Blif.Parse_error (line, msg) ->
+              failwith (Printf.sprintf "%s:%d: %s" target line msg)
+          | exception Pla.Parse_error (line, msg) ->
+              failwith (Printf.sprintf "%s:%d: %s" target line msg))
+    in
+    let report =
+      Batch.run ~jobs ~lut_size ~algorithm ?timeout ?node_budget ?effort
+        ~checks ~verify
+        (List.map job_of targets)
+    in
+    if json then print_string (Batch.to_json report)
+    else Format.printf "%a@." (Batch.pp_text ~stats) report;
+    let verify_failed =
+      List.exists
+        (fun r ->
+          match r.Batch.outcome with
+          | Ok s -> s.Batch.verified = Some false
+          | Error _ -> false)
+        report.Batch.results
+    in
+    if
+      Batch.failures report <> []
+      || Batch.error_findings report <> []
+      || verify_failed
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Decompose many targets with a pool of worker domains and print an \
+          aggregate report."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Each target is one job: it gets its own BDD manager, a fresh \
+              budget ($(b,--timeout) and $(b,--node-budget) are per job) and \
+              its own statistics, so jobs never share mutable state and the \
+              report is independent of $(b,--jobs).  A job that fails — \
+              unknown benchmark, parse error, internal invariant violation — \
+              is reported as a FAILED row; the rest of the batch completes.";
+           `S Manpage.s_exit_status;
+           `P "$(b,0) when every job succeeded (and verified, with \
+               $(b,--verify));";
+           `P "$(b,1) when any job failed, any Error-level finding was \
+               raised, or verification failed.";
+         ])
+    Term.(
+      const batch $ targets $ jobs $ algorithm $ lut_size $ json $ verify
+      $ stats $ check_arg $ timeout_arg $ node_budget_arg $ effort_arg)
 
 let lint_cmd =
   let target =
@@ -379,4 +496,6 @@ let lint_cmd =
 let () =
   let doc = "multi-output functional decomposition with don't cares" in
   let info = Cmd.info "mfd" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; compare_cmd; lint_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; list_cmd; compare_cmd; batch_cmd; lint_cmd ]))

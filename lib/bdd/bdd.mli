@@ -8,7 +8,18 @@
     library.
 
     Mixing nodes of different managers in one operation is a programming
-    error; it is detected (cheaply, via node ids) only by assertions. *)
+    error; it is detected (cheaply, via node ids) only by assertions.
+
+    {b Domain safety.}  All mutable state of this library — the unique
+    table, the operation caches, the variable-swap bookkeeping, the
+    growth hook — lives inside a {!manager} value; the library keeps no
+    top-level mutable state whatsoever.  A single manager is {e not}
+    thread-safe, but distinct managers are fully independent: separate
+    OCaml domains may each own a manager and operate concurrently
+    without any synchronization ([Decomp.Batch] relies on exactly
+    this).  Node ids are allocated per manager from a fresh counter, so
+    a run on a fresh manager is reproducible regardless of what other
+    domains do. *)
 
 type manager
 

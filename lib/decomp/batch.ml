@@ -1,0 +1,221 @@
+(* Domain-parallel batch decomposition.
+
+   The unit of parallelism is the whole circuit: a run owns its
+   hash-consed Bdd.manager, its Budget.t and its Stats.t, so runs are
+   shared-nothing and a fixed pool of worker domains can drain a job
+   queue without any cross-domain synchronization beyond the queue
+   cursor itself (one Atomic.fetch_and_add per job claim).  Results land
+   in a pre-sized array slot owned by exactly one worker, so the report
+   is independent of scheduling: job [i]'s row is the same whether the
+   batch ran on 1 domain or 8. *)
+
+type job = { name : string; build : Bdd.manager -> Driver.spec }
+
+let job ~name build = { name; build }
+
+type summary = {
+  algorithm : Mulop.algorithm;
+  lut_count : int;
+  clb_count : int;
+  depth : int;
+  step_count : int;
+  shannon_count : int;
+  alpha_count : int;
+  degraded_to : Budget.stage;
+  findings : Diagnostic.t list;
+  verified : bool option;
+}
+
+type job_report = {
+  job : string;
+  outcome : (summary, string) result;
+  seconds : float;
+  stats : Stats.t;
+}
+
+type report = { results : job_report list; domains : int; wall : float }
+
+(* One job, start to finish, inside whichever domain claimed it.  Every
+   per-run resource is created here — manager, budget, stats — and
+   every exception (parse error of a lazily loaded file, driver
+   invariant violation, out-of-memory of a pathological instance) is
+   confined to this job's row instead of aborting the batch. *)
+let run_job ?lut_size ?timeout ?node_budget ?effort ?checks ?(verify = false)
+    algorithm jb =
+  let stats = Stats.create () in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match
+      let m = Bdd.manager () in
+      let spec = jb.build m in
+      let budget = Budget.create ?timeout ?node_budget ?effort ~stats () in
+      let o = Mulop.run ?lut_size ~budget ?checks ~stats m algorithm spec in
+      let verified =
+        if verify then Some (Driver.verify m spec o.Mulop.network) else None
+      in
+      {
+        algorithm;
+        lut_count = o.Mulop.lut_count;
+        clb_count = o.Mulop.clb_count;
+        depth = o.Mulop.depth;
+        step_count = o.Mulop.step_count;
+        shannon_count = o.Mulop.shannon_count;
+        alpha_count = o.Mulop.alpha_count;
+        degraded_to = o.Mulop.degraded_to;
+        findings = o.Mulop.findings;
+        verified;
+      }
+    with
+    | summary -> Ok summary
+    | exception Failure msg -> Error msg
+    | exception e -> Error (Printexc.to_string e)
+  in
+  { job = jb.name; outcome; seconds = Unix.gettimeofday () -. t0; stats }
+
+let run ?(jobs = 1) ?lut_size ?(algorithm = Mulop.Mulop_dc) ?timeout
+    ?node_budget ?effort ?checks ?verify job_list =
+  let arr = Array.of_list job_list in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <-
+          Some
+            (run_job ?lut_size ?timeout ?node_budget ?effort ?checks ?verify
+               algorithm arr.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = max 1 (min jobs n) in
+  let t0 = Unix.gettimeofday () in
+  (* The calling domain is worker 0; only the extra workers are spawned.
+     [run_job] catches everything, so a worker only dies on truly
+     asynchronous exceptions; [Domain.join] re-raises those. *)
+  let spawned =
+    if domains <= 1 then []
+    else List.init (domains - 1) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join spawned;
+  let wall = Unix.gettimeofday () -. t0 in
+  let results =
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false (* every slot claimed *))
+         results)
+  in
+  { results; domains; wall }
+
+let failures report =
+  List.filter_map
+    (fun r ->
+      match r.outcome with Ok _ -> None | Error msg -> Some (r.job, msg))
+    report.results
+
+let error_findings report =
+  List.concat_map
+    (fun r ->
+      match r.outcome with
+      | Ok s -> List.map (fun d -> (r.job, d)) (Diagnostic.errors s.findings)
+      | Error _ -> [])
+    report.results
+
+(* ---- rendering ---- *)
+
+let pp_text ?(stats = false) fmt report =
+  Format.fprintf fmt "@[<v>%-12s | %6s %6s %6s %6s %8s | %8s %s@,"
+    "job" "luts" "clbs" "depth" "steps" "shannon" "time" "";
+  let total_luts = ref 0 and total_clbs = ref 0 and failed = ref 0 in
+  List.iter
+    (fun r ->
+      match r.outcome with
+      | Ok s ->
+          total_luts := !total_luts + s.lut_count;
+          total_clbs := !total_clbs + s.clb_count;
+          Format.fprintf fmt "%-12s | %6d %6d %6d %6d %8d | %7.2fs %s%s%s@,"
+            r.job s.lut_count s.clb_count s.depth s.step_count s.shannon_count
+            r.seconds
+            (match s.degraded_to with
+            | Budget.Full -> ""
+            | stage -> "degraded=" ^ Budget.stage_name stage)
+            (match s.findings with
+            | [] -> ""
+            | fs -> Printf.sprintf " findings=%d" (List.length fs))
+            (match s.verified with
+            | Some true -> " verified"
+            | Some false -> " VERIFY-FAILED"
+            | None -> "")
+      | Error msg ->
+          incr failed;
+          Format.fprintf fmt "%-12s | FAILED: %s@," r.job msg)
+    report.results;
+  Format.fprintf fmt "%-12s | %6d %6d %38s@," "total" !total_luts !total_clbs
+    (Printf.sprintf "(%d jobs, %d domains, %.2fs wall%s)"
+       (List.length report.results)
+       report.domains report.wall
+       (if !failed = 0 then "" else Printf.sprintf ", %d FAILED" !failed));
+  if stats then
+    List.iter
+      (fun r -> Format.fprintf fmt "@,[%s]@,%a@," r.job Stats.pp r.stats)
+      report.results;
+  Format.fprintf fmt "@]"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json report =
+  let quote s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let field k v = Printf.sprintf "%s:%s" (quote k) v in
+  let row r =
+    let common =
+      [
+        field "job" (quote r.job);
+        field "seconds" (Printf.sprintf "%.6f" r.seconds);
+      ]
+    in
+    let rest =
+      match r.outcome with
+      | Ok s ->
+          [
+            field "status" (quote "ok");
+            field "algorithm" (quote (Mulop.algorithm_name s.algorithm));
+            field "luts" (string_of_int s.lut_count);
+            field "clbs" (string_of_int s.clb_count);
+            field "depth" (string_of_int s.depth);
+            field "steps" (string_of_int s.step_count);
+            field "shannon" (string_of_int s.shannon_count);
+            field "alphas" (string_of_int s.alpha_count);
+            field "degraded_to" (quote (Budget.stage_name s.degraded_to));
+            field "findings" (Diagnostic.to_json s.findings);
+          ]
+          @ (match s.verified with
+            | None -> []
+            | Some ok -> [ field "verified" (string_of_bool ok) ])
+      | Error msg ->
+          [ field "status" (quote "failed"); field "error" (quote msg) ]
+    in
+    "{" ^ String.concat "," (common @ rest) ^ "}"
+  in
+  Printf.sprintf "{%s,%s,%s}"
+    (field "domains" (string_of_int report.domains))
+    (field "wall_seconds" (Printf.sprintf "%.6f" report.wall))
+    (field "jobs"
+       ("[" ^ String.concat "," (List.map row report.results) ^ "]"))

@@ -1,0 +1,92 @@
+(** Domain-parallel batch decomposition.
+
+    The natural unit of parallelism of the algorithm is the whole
+    circuit: every decomposition run owns its hash-consed
+    {!Bdd.manager}, its {!Budget.t} and its {!Stats.t}, so runs are
+    {e shared-nothing} and scale across OCaml 5 domains without locks.
+    [run] drains a list of jobs with a fixed pool of worker domains
+    (the calling domain is worker 0); each claimed job builds its
+    specification, decomposes it under its own fresh budget, and writes
+    its row of the report.  The only shared mutable state is the queue
+    cursor (an [Atomic.t]) and the result array, each slot of which is
+    written by exactly one worker.
+
+    Failures are isolated per job: a parse error of a lazily loaded
+    file, a {!Driver.Internal} violation or any other exception becomes
+    that job's [Error] row instead of aborting the batch.
+
+    The report is deterministic: job results are independent of
+    scheduling (each run's manager starts empty, so node ids and every
+    downstream choice are reproducible) and rows keep submission order,
+    so [run ~jobs:1] and [run ~jobs:8] produce identical summaries —
+    the batch determinism property tested in [test_batch.ml]. *)
+
+type job = {
+  name : string;  (** label used in the report *)
+  build : Bdd.manager -> Driver.spec;
+      (** called inside the claiming worker domain, on that run's own
+          manager; may raise (e.g. a parse error) — the failure is
+          confined to this job *)
+}
+
+val job : name:string -> (Bdd.manager -> Driver.spec) -> job
+
+type summary = {
+  algorithm : Mulop.algorithm;
+  lut_count : int;
+  clb_count : int;
+  depth : int;
+  step_count : int;
+  shannon_count : int;
+  alpha_count : int;
+  degraded_to : Budget.stage;
+  findings : Diagnostic.t list;
+  verified : bool option;  (** [None] unless [run ~verify:true] *)
+}
+
+type job_report = {
+  job : string;
+  outcome : (summary, string) result;
+  seconds : float;  (** wall time of this job inside its worker *)
+  stats : Stats.t;  (** the run's own counters and phase timings *)
+}
+
+type report = {
+  results : job_report list;  (** in job submission order *)
+  domains : int;  (** worker domains actually used *)
+  wall : float;  (** wall time of the whole batch *)
+}
+
+val run :
+  ?jobs:int ->
+  ?lut_size:int ->
+  ?algorithm:Mulop.algorithm ->
+  ?timeout:float ->
+  ?node_budget:int ->
+  ?effort:Budget.effort ->
+  ?checks:Diagnostic.level ->
+  ?verify:bool ->
+  job list ->
+  report
+(** Decompose every job.  [jobs] (default 1) is the number of worker
+    domains, clamped to the job count; [timeout]/[node_budget]/[effort]
+    parameterize a {e fresh} {!Budget.t} per job (the timeout is per
+    job, not for the whole batch).  [verify] (default [false]) re-checks
+    every produced network against its specification by BDD
+    equivalence.  [checks] is threaded to the driver's assertion layer.
+    Raises only on asynchronous exceptions (e.g. an interrupt); job
+    failures are reported, not raised. *)
+
+val failures : report -> (string * string) list
+(** Failed jobs as [(job, error message)]. *)
+
+val error_findings : report -> (string * Diagnostic.t) list
+(** Error-level assertion findings across all jobs, with their job. *)
+
+val pp_text : ?stats:bool -> Format.formatter -> report -> unit
+(** Aligned per-job table with totals; [~stats:true] appends every
+    job's {!Stats} block. *)
+
+val to_json : report -> string
+(** The whole report as one JSON object ([domains], [wall_seconds],
+    [jobs] array with per-job status, counts and findings). *)

@@ -1,3 +1,13 @@
 let ceil_log2 k =
-  let rec go bits cap = if cap >= k then bits else go (bits + 1) (cap * 2) in
-  go 0 1
+  if k <= 0 then
+    invalid_arg (Printf.sprintf "Bits.ceil_log2: nonpositive argument %d" k)
+  else
+    (* [cap * 2] overflows once [cap] passes [max_int / 2]; at that point
+       the next power of two is not representable, so [2^(bits+1)] is the
+       first power >= any representable [k]. *)
+    let rec go bits cap =
+      if cap >= k then bits
+      else if cap > max_int / 2 then bits + 1
+      else go (bits + 1) (cap * 2)
+    in
+    go 0 1

@@ -1,5 +1,11 @@
 (** Small integer helpers shared across the decomposition modules. *)
 
 val ceil_log2 : int -> int
-(** [ceil_log2 k] is the smallest [b] with [2^b >= k] ([0] for [k <= 1]).
-    The number of code bits needed to distinguish [k] classes. *)
+(** [ceil_log2 k] is the smallest [b] with [2^b >= k] ([0] for [k = 1]).
+    The number of code bits needed to distinguish [k] classes.  For [k]
+    above the largest representable power of two the result is the
+    exponent of the first (unrepresentable) power that covers it, so
+    [ceil_log2 max_int] terminates instead of overflowing.
+
+    @raise Invalid_argument when [k <= 0] — a class count is always
+    positive, so a nonpositive argument is a caller bug. *)

@@ -1,6 +1,10 @@
-let score ?cache ?(lut_size = max_int) m isfs bound =
+let worst = (max_int, max_int)
+
+let score ?cache ?stats ?(lut_size = max_int) m isfs bound =
   let stats =
-    match cache with Some c -> Score_cache.stats c | None -> Stats.global
+    match cache with
+    | Some c -> Score_cache.stats c
+    | None -> ( match stats with Some s -> s | None -> Stats.create ())
   in
   stats.Stats.score_calls <- stats.Stats.score_calls + 1;
   let relevant =
@@ -13,7 +17,13 @@ let score ?cache ?(lut_size = max_int) m isfs bound =
         if overlap = 0 then None else Some (f, overlap))
       isfs
   in
-  if relevant = [] then (0, 1)
+  (* A bound set no ISF depends on reduces nothing: decomposing against
+     it is a pure renaming.  It must lose against every genuine
+     candidate in BOTH scoring orders — the joint-first order's first
+     component is >= 1 for any real candidate, so anything smaller
+     (e.g. the old (0, 1)) would make a vacuous window seed win the
+     whole selection. *)
+  if relevant = [] then worst
   else begin
     let key () =
       Score_cache.score_key ~lut_size (List.map fst relevant) bound

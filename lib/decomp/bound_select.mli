@@ -9,6 +9,7 @@
 
 val score :
   ?cache:Score_cache.t ->
+  ?stats:Stats.t ->
   ?lut_size:int ->
   Bdd.manager ->
   Isf.t list ->
@@ -18,6 +19,10 @@ val score :
     [cache], cofactor vectors and whole scores are memoized (and scores
     are keyed by [lut_size], so both scoring modes can share one cache
     without mixing); the result is identical with and without a cache.
+    Counters land in the cache's stats when a cache is given, else in
+    [stats] (else in a fresh throwaway).  A bound set that overlaps no
+    ISF support scores worst-possible in both orderings — it reduces
+    nothing, so it must never beat a genuine candidate.
     The first
     component is the negated net benefit: the total support reduction
     [sum_i (|B inter supp f_i| - r_i)] (with [r_i = ceil log2] of the

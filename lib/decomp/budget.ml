@@ -29,6 +29,7 @@ type t = {
   timeout : float option;  (* seconds, relative; clock starts at [attach] *)
   node_budget : int option;  (* allotment of fresh nodes per stage *)
   effort_level : effort;
+  stats : Stats.t;  (* the attached run's counters ([budget_checks]) *)
   mutable deadline : float option;  (* absolute gettimeofday time *)
   mutable node_limit : int option;  (* absolute unique-table size limit *)
   mutable current : stage;
@@ -36,11 +37,13 @@ type t = {
   mutable manager : Bdd.manager option;  (* set by [attach] *)
 }
 
-let create ?timeout ?node_budget ?(effort = Normal) () =
+let create ?timeout ?node_budget ?(effort = Normal) ?(stats = Stats.create ())
+    () =
   {
     timeout;
     node_budget;
     effort_level = effort;
+    stats;
     deadline = None;
     node_limit = None;
     current = Full;
@@ -60,7 +63,9 @@ let exceed reason where = raise (Out_of_budget { reason; where })
    up itself.  Both funnel here. *)
 let poll t ~where node_count =
   if t.mask = 0 && t.current <> Shannon_only then begin
-    Stats.global.Stats.budget_checks <- Stats.global.Stats.budget_checks + 1;
+    (* The run's own stats, never a process-global one: poll fires
+       concurrently from every batch worker domain. *)
+    t.stats.Stats.budget_checks <- t.stats.Stats.budget_checks + 1;
     (match t.node_limit with
     | Some limit when node_count > limit -> exceed Nodes where
     | Some _ | None -> ());
@@ -83,12 +88,18 @@ let checker t ~where () = check t ~where
 let attach t m =
   if is_limited t then begin
     t.manager <- Some m;
+    (* Re-arm from scratch on every attach.  A reused budget previously
+       kept the first run's absolute deadline, node baseline and
+       degradation stage, so a second run started (partly or fully)
+       exhausted; each attach is the start of a fresh run. *)
+    t.current <- Full;
+    t.mask <- 0;
     (match t.timeout with
-    | Some secs -> if t.deadline = None then t.deadline <- Some (Unix.gettimeofday () +. secs)
-    | None -> ());
+    | Some secs -> t.deadline <- Some (Unix.gettimeofday () +. secs)
+    | None -> t.deadline <- None);
     (match t.node_budget with
-    | Some b -> if t.node_limit = None then t.node_limit <- Some (Bdd.node_count m + b)
-    | None -> ());
+    | Some b -> t.node_limit <- Some (Bdd.node_count m + b)
+    | None -> t.node_limit <- None);
     Bdd.set_growth_hook m (Some (fun count -> poll t ~where:"bdd-growth" count))
   end
 

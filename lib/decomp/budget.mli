@@ -24,8 +24,11 @@
     quickly down to [Shannon_only].  Once there, the budget disarms
     itself completely — producing the final network is mandatory work.
 
-    A budget is single-use: create one per decomposition run.  Every
-    degradation event is recorded in {!Stats} by the driver and
+    Create one budget per decomposition run.  {!attach} re-arms the
+    deadline, the node baseline and the degradation stage from scratch,
+    so a reused value behaves like a fresh one — but inspecting
+    {!stage} between runs only makes sense before the next {!attach}.
+    Every degradation event is recorded in {!Stats} by the driver and
     surfaced by [mfd --stats] and the bench harness. *)
 
 (** {1 Effort levels} *)
@@ -55,12 +58,19 @@ exception Out_of_budget of { reason : reason; where : string }
     when a limit is exceeded; [where] names the poll point. *)
 
 val create :
-  ?timeout:float -> ?node_budget:int -> ?effort:effort -> unit -> t
+  ?timeout:float ->
+  ?node_budget:int ->
+  ?effort:effort ->
+  ?stats:Stats.t ->
+  unit ->
+  t
 (** [timeout] is in seconds of wall-clock time, counted from {!attach}
     (i.e. from the start of the run, not from [create]); [node_budget]
     bounds the number of BDD nodes the run may allocate on top of what
     the manager already holds at {!attach} time.  Omitted limits are
-    unlimited; the default effort is [Normal]. *)
+    unlimited; the default effort is [Normal].  [stats] receives the
+    [budget_checks] counter — pass the run's own instance (the default
+    is a fresh throwaway), never one shared between concurrent runs. *)
 
 val unlimited : t
 (** No limits, [Normal] effort: never raises, never degrades.  Safe to
@@ -72,8 +82,11 @@ val stage : t -> stage
 
 val attach : t -> Bdd.manager -> unit
 (** Arm the budget: start the deadline clock, record the node baseline,
-    and install the manager's growth hook.  Must be called before
-    {!check}; a no-op for {!unlimited}. *)
+    reset the degradation stage to [Full], and install the manager's
+    growth hook.  Every attach re-arms from scratch, so attaching a
+    budget a second time starts a fresh run instead of inheriting the
+    first run's spent deadline and stale node baseline.  Must be called
+    before {!check}; a no-op for {!unlimited}. *)
 
 val detach : t -> Bdd.manager -> unit
 (** Remove the growth hook (leaves the budget's stage intact). *)

@@ -44,7 +44,7 @@ let sink_name = function
   | Alpha_var v -> Printf.sprintf "alpha a%d" (-v)
 
 let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
-    ?(checks = Diagnostic.Off) m spec =
+    ?(checks = Diagnostic.Off) ?(stats = Stats.create ()) m spec =
   let cfg = Budget.apply_effort budget cfg in
   (* The [--check] assertion layer: pure observers at the driver's phase
      boundaries.  [cheap] covers the bookkeeping invariants, [full] adds
@@ -56,7 +56,7 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
   let findings = ref [] in
   let emit_finding d =
     findings := d :: !findings;
-    Stats.add_finding Stats.global
+    Stats.add_finding stats
       ~severity:(Diagnostic.severity_name d.Diagnostic.severity)
       ~code:d.Diagnostic.code
       ~message:
@@ -94,8 +94,8 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
   (* One scoring cache for the whole run: it persists across greedy
      growth, Curtis retries, and driver iterations (recursion levels),
      and is trimmed whenever a committed step rewrites ISFs.  Tied to
-     [m]; counters land in [Stats.global]. *)
-  let cache = Score_cache.create ~stats:Stats.global () in
+     [m]; counters land in this run's [stats]. *)
+  let cache = Score_cache.create ~stats () in
   let signal_of_var : (int, Network.signal) Hashtbl.t = Hashtbl.create 64 in
   List.iteri
     (fun k name -> Hashtbl.replace signal_of_var k (Network.add_input net name))
@@ -317,7 +317,7 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
         |> List.map snd |> List.sort compare
       end
     in
-    let clock = Stats.clock Stats.global in
+    let clock = Stats.clock stats in
     let phase name =
       let dt = Stats.mark clock name in
       Log.debug (fun k -> k "  %s: %.2fs" name dt)
@@ -424,8 +424,8 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
           Array.map (fun f -> List.length (Isf.support m f)) isfs
         in
         let result =
-          Step.run ~budget ~checks ~emit:emit_finding m cfg ~fresh_var isfs
-            ~bound
+          Step.run ~budget ~checks ~emit:emit_finding ~stats m cfg ~fresh_var
+            isfs ~bound
         in
         let progressed = ref false in
         Array.iteri
@@ -578,7 +578,7 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
             try attempt primary region
             with Budget.Out_of_budget { reason; where } ->
               let stage = Budget.degrade budget m reason in
-              Stats.add_degradation Stats.global
+              Stats.add_degradation stats
                 ~stage:(Budget.stage_name stage)
                 ~reason:(Budget.reason_name reason)
                 ~where;
@@ -604,8 +604,8 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
     findings = List.rev !findings;
   }
 
-let decompose ?cfg ?budget ?checks m spec =
-  (decompose_report ?cfg ?budget ?checks m spec).network
+let decompose ?cfg ?budget ?checks ?stats m spec =
+  (decompose_report ?cfg ?budget ?checks ?stats m spec).network
 
 let verify m spec net =
   let var_of_input =

@@ -15,7 +15,11 @@
     first dropping symmetry maximization, then the sharing-aware joint
     clique cover, finally falling back to plain Shannon/MUX emission —
     so a correct LUT network is always produced.  Degradation events are
-    recorded in {!Stats.global}. *)
+    recorded in the run's {!Stats} instance ([?stats]).
+
+    Each run is shared-nothing: it owns its {!Bdd.manager}, its
+    {!Budget.t} and its {!Stats.t}, so independent runs may execute
+    concurrently in separate domains ({!Batch}). *)
 
 type spec = {
   input_names : string list;  (** input [k] is BDD variable [k] *)
@@ -56,19 +60,24 @@ val decompose :
   ?cfg:Config.t ->
   ?budget:Budget.t ->
   ?checks:Diagnostic.level ->
+  ?stats:Stats.t ->
   Bdd.manager ->
   spec ->
   Network.t
 (** The resulting network has one LUT per decomposition/composition
     function, every LUT with at most [cfg.lut_size] inputs, and realizes
     an extension of every specified output.  [budget] (default
-    {!Budget.unlimited}) governs the run as described above; it is
-    single-use — create a fresh one per call. *)
+    {!Budget.unlimited}) governs the run as described above — create a
+    fresh one per call (or rely on {!Budget.attach} re-arming it).
+    [stats] collects the run's counters, phase timings and degradation
+    events; the default is a fresh throwaway instance, so pass your own
+    to observe them. *)
 
 val decompose_report :
   ?cfg:Config.t ->
   ?budget:Budget.t ->
   ?checks:Diagnostic.level ->
+  ?stats:Stats.t ->
   Bdd.manager ->
   spec ->
   report
@@ -83,7 +92,7 @@ val decompose_report :
     its specification ([DEC007]) and every emitted LUT table matches
     the function it was derived from ([DEC008]).  Checks are pure
     observers: findings are reported in [findings] (and mirrored into
-    {!Stats.global}), and the produced network is identical to an
+    the run's [stats]), and the produced network is identical to an
     unchecked run's. *)
 
 val verify : Bdd.manager -> spec -> Network.t -> bool

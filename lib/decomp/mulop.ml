@@ -22,9 +22,9 @@ let config_of ?(lut_size = 5) = function
   | Mulop_ii -> Config.with_lut_size lut_size Config.mulop_ii
   | Mulop_dc | Mulop_dc_ii -> Config.with_lut_size lut_size Config.mulop_dc
 
-let run ?lut_size ?budget ?checks m algorithm spec =
+let run ?lut_size ?budget ?checks ?stats m algorithm spec =
   let cfg = config_of ?lut_size algorithm in
-  let report = Driver.decompose_report ~cfg ?budget ?checks m spec in
+  let report = Driver.decompose_report ~cfg ?budget ?checks ?stats m spec in
   let net = Network.sweep report.Driver.network in
   let stats = Network.stats net in
   let policy =

@@ -28,14 +28,16 @@ val run :
   ?lut_size:int ->
   ?budget:Budget.t ->
   ?checks:Diagnostic.level ->
+  ?stats:Stats.t ->
   Bdd.manager ->
   algorithm ->
   Driver.spec ->
   outcome
 (** Decompose [spec] with the given algorithm and sweep the result.
-    [budget] (default {!Budget.unlimited}) is single-use — pass a fresh
-    one per call.  [checks] (default [Off]) enables the driver's
-    assertion layer; checks never change the produced network. *)
+    [budget] (default {!Budget.unlimited}): pass a fresh one per call.
+    [checks] (default [Off]) enables the driver's assertion layer;
+    checks never change the produced network.  [stats] collects the
+    run's counters and phase timings (default: a fresh throwaway). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One-line summary; appends [degraded=<stage>] only when the run was

@@ -29,7 +29,7 @@ type t = {
   scores : (score_key, int * int) Hashtbl.t;
 }
 
-let create ?(stats = Stats.global) () =
+let create ?(stats = Stats.create ()) () =
   { stats; cof = Hashtbl.create 256; scores = Hashtbl.create 256 }
 
 let stats t = t.stats

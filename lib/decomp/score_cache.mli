@@ -16,8 +16,9 @@
 type t
 
 val create : ?stats:Stats.t -> unit -> t
-(** Counters and timings are accumulated into [stats]
-    (default {!Stats.global}). *)
+(** Counters and timings are accumulated into [stats].  Pass the run's
+    own instance; the default is a fresh throwaway {!Stats.create} so an
+    undirected cache never shares counters with another run. *)
 
 val stats : t -> Stats.t
 

@@ -31,8 +31,6 @@ let create () =
     phases = Hashtbl.create 8;
   }
 
-let global = create ()
-
 let reset t =
   t.score_calls <- 0;
   t.score_hits <- 0;
@@ -47,6 +45,26 @@ let reset t =
   t.degradations <- [];
   t.findings <- [];
   Hashtbl.reset t.phases
+
+let merge ~into s =
+  into.score_calls <- into.score_calls + s.score_calls;
+  into.score_hits <- into.score_hits + s.score_hits;
+  into.cof_lookups <- into.cof_lookups + s.cof_lookups;
+  into.cof_hits <- into.cof_hits + s.cof_hits;
+  into.cof_extends <- into.cof_extends + s.cof_extends;
+  into.cof_fresh <- into.cof_fresh + s.cof_fresh;
+  into.restricts <- into.restricts + s.restricts;
+  into.retains <- into.retains + s.retains;
+  into.evicted <- into.evicted + s.evicted;
+  into.budget_checks <- into.budget_checks + s.budget_checks;
+  (* both lists are newest-first; keep the merged one newest-first too *)
+  into.degradations <- s.degradations @ into.degradations;
+  into.findings <- s.findings @ into.findings;
+  Hashtbl.iter
+    (fun name dt ->
+      Hashtbl.replace into.phases name
+        (dt +. Option.value ~default:0.0 (Hashtbl.find_opt into.phases name)))
+    s.phases
 
 let add_degradation t ~stage ~reason ~where =
   t.degradations <- (stage, reason, where) :: t.degradations

@@ -1,11 +1,14 @@
 (** Decomposition statistics: counters for the bound-set scoring cache
     and per-phase wall-clock time of the driver loop.
 
-    One mutable record accumulates everything; the driver, the score
-    cache, and the bound-set search all write into the {!global}
-    instance by default, so front ends ([mfd --stats], the bench
-    harness) can reset it before a run and print it afterwards.
-    Counters only ever increase between resets. *)
+    One mutable record accumulates everything.  A [Stats.t] is owned by
+    exactly one decomposition run: front ends ([mfd --stats], the bench
+    harness, the batch engine) {!create} one per run, pass it to
+    {!Driver.decompose_report} / {!Mulop.run} / {!Budget.create}, and
+    print it afterwards.  There is deliberately no process-global
+    instance — concurrent runs in separate domains each own their stats,
+    so the counters are data-race-free by construction.  Counters only
+    ever increase between resets. *)
 
 type t = {
   mutable score_calls : int;  (** {!Bound_select.score} invocations *)
@@ -31,8 +34,13 @@ type t = {
 }
 
 val create : unit -> t
-val global : t
 val reset : t -> unit
+
+val merge : into:t -> t -> unit
+(** Accumulate another run's counters, events and phase times into
+    [into] (which is unchanged otherwise).  Used by front ends that
+    aggregate per-run instances — e.g. a bench section over many runs,
+    or a batch report over many jobs. *)
 
 val add_phase : t -> string -> float -> unit
 val phase_time : t -> string -> float

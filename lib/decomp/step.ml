@@ -129,9 +129,10 @@ let canonicalize_colors colors =
     colors
 
 let run ?(budget = Budget.unlimited) ?(checks = Diagnostic.Off)
-    ?(emit = fun (_ : Diagnostic.t) -> ()) m cfg ~fresh_var isfs ~bound =
+    ?(emit = fun (_ : Diagnostic.t) -> ()) ?(stats = Stats.create ()) m cfg
+    ~fresh_var isfs ~bound =
   let checking = Diagnostic.at_least checks Diagnostic.Cheap in
-  let clock = Stats.clock Stats.global in
+  let clock = Stats.clock stats in
   let phase name =
     let dt = Stats.mark clock ("step/" ^ name) in
     if dt > 0.2 then Logs.debug (fun k -> k "    step/%s: %.2fs" name dt);

@@ -32,6 +32,7 @@ val run :
   ?budget:Budget.t ->
   ?checks:Diagnostic.level ->
   ?emit:(Diagnostic.t -> unit) ->
+  ?stats:Stats.t ->
   Bdd.manager ->
   Config.t ->
   fresh_var:(unit -> int) ->
@@ -44,7 +45,8 @@ val run :
     polled at every internal phase boundary and once per vertex of the
     class-merging colorings; {!Budget.Out_of_budget} can only escape
     {e before} anything is emitted — the step itself is pure, all
-    commitment happens in the driver.
+    commitment happens in the driver.  [stats] receives the [step/*]
+    phase timings (default: a fresh throwaway instance).
 
     With [checks] at [Cheap] or above (default [Off]), the step's
     internal invariants are verified and violations reported through

@@ -1,0 +1,134 @@
+(* The domain-parallel batch engine: results must be independent of the
+   worker-domain count (each job owns its manager/budget/stats, so
+   scheduling cannot leak into the outcome), failures must stay confined
+   to their job, and the report renderers must stay well-formed. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let names n = List.init n (Printf.sprintf "x%d")
+
+let contains s sub =
+  let n = String.length sub in
+  let rec at i =
+    i + n <= String.length s && (String.sub s i n = sub || at (i + 1))
+  in
+  at 0
+
+(* A deterministic pseudo-random job: the spec is rebuilt from the seed
+   inside whichever worker domain claims the job, on that run's own
+   manager. *)
+let random_job ~nvars seed =
+  Batch.job ~name:(Printf.sprintf "rnd%d" seed) (fun m ->
+      let st = Random.State.make [| seed |] in
+      Driver.spec_of_csf m (names nvars)
+        [
+          ("f", Bdd.random m ~nvars ~density:0.4 st);
+          ("g", Bdd.random m ~nvars ~density:0.55 st);
+        ])
+
+(* The scheduling-independent projection of a report: per-job outcome in
+   submission order, without the wall-clock fields. *)
+let fingerprint report =
+  List.map
+    (fun r ->
+      match r.Batch.outcome with
+      | Ok s ->
+          Ok
+            ( r.Batch.job,
+              s.Batch.lut_count,
+              s.Batch.clb_count,
+              s.Batch.depth,
+              s.Batch.step_count,
+              s.Batch.shannon_count,
+              List.length s.Batch.findings,
+              s.Batch.verified )
+      | Error msg -> Error (r.Batch.job, msg))
+    report.Batch.results
+
+let batch_tests =
+  [
+    Alcotest.test_case "every job verified, rows in submission order" `Quick
+      (fun () ->
+        let jobs = List.map (random_job ~nvars:6) [ 3; 14; 15; 92 ] in
+        let report = Batch.run ~jobs:2 ~verify:true jobs in
+        check_int "one row per job" (List.length jobs)
+          (List.length report.Batch.results);
+        List.iter2
+          (fun jb r ->
+            check_bool "submission order kept" true (jb.Batch.name = r.Batch.job);
+            match r.Batch.outcome with
+            | Ok s -> check_bool "verified" true (s.Batch.verified = Some true)
+            | Error msg -> Alcotest.fail (r.Batch.job ^ ": " ^ msg))
+          jobs report.Batch.results;
+        check_bool "no failures" true (Batch.failures report = []);
+        check_bool "per-job stats populated" true
+          (List.for_all
+             (fun r -> r.Batch.stats.Stats.score_calls > 0)
+             report.Batch.results));
+    Alcotest.test_case "a failing job is confined to its row" `Quick (fun () ->
+        let boom =
+          Batch.job ~name:"boom" (fun _ -> failwith "no such benchmark")
+        in
+        let jobs = [ random_job ~nvars:5 1; boom; random_job ~nvars:5 2 ] in
+        let report = Batch.run ~jobs:3 jobs in
+        (match fingerprint report with
+        | [ Ok _; Error ("boom", msg); Ok _ ] ->
+            check_bool "failure message survives" true
+              (contains msg "no such benchmark")
+        | _ -> Alcotest.fail "expected ok/failed/ok rows in order");
+        match Batch.failures report with
+        | [ ("boom", _) ] -> ()
+        | fs -> check_int "exactly one failure" 1 (List.length fs));
+    Alcotest.test_case "more domains than jobs is clamped" `Quick (fun () ->
+        let jobs = [ random_job ~nvars:5 7 ] in
+        let report = Batch.run ~jobs:8 jobs in
+        check_int "domains clamped to job count" 1 report.Batch.domains;
+        check_bool "job succeeded" true (Batch.failures report = []));
+    Alcotest.test_case "report renderers are well-formed" `Quick (fun () ->
+        let jobs =
+          [ random_job ~nvars:5 4;
+            Batch.job ~name:"bad" (fun _ -> failwith "parse error") ]
+        in
+        let report = Batch.run ~jobs:2 ~verify:true jobs in
+        let text = Format.asprintf "%a" (Batch.pp_text ~stats:true) report in
+        check_bool "table mentions every job" true
+          (contains text "rnd4"
+          && contains text "bad"
+          && contains text "FAILED");
+        let json = Batch.to_json report in
+        check_bool "json has both statuses" true
+          (contains json "\"status\":\"ok\""
+          && contains json "\"status\":\"failed\"");
+        check_bool "json escapes the error" true
+          (contains json "parse error"));
+  ]
+
+(* The headline property: the per-job results of a parallel batch are
+   job-for-job identical to the sequential ones, and a clean spec stays
+   clean under --check=full in both. *)
+let props =
+  [
+    QCheck2.Test.make ~name:"batch: jobs:4 report equals jobs:1 report"
+      ~count:8
+      QCheck2.Gen.(list_size (int_range 3 6) (int_range 0 1000))
+      (fun seeds ->
+        let jobs = List.mapi (fun k s -> random_job ~nvars:6 (s + (k * 1009))) seeds in
+        let sequential =
+          Batch.run ~jobs:1 ~checks:Diagnostic.Full ~verify:true jobs
+        in
+        let parallel =
+          Batch.run ~jobs:4 ~checks:Diagnostic.Full ~verify:true jobs
+        in
+        let seq = fingerprint sequential and par = fingerprint parallel in
+        seq = par
+        && List.for_all
+             (function
+               | Ok (_, _, _, _, _, _, findings, verified) ->
+                   findings = 0 && verified = Some true
+               | Error _ -> false)
+             seq);
+  ]
+
+let suite =
+  batch_tests @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props

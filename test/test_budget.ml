@@ -60,6 +60,53 @@ let governor_tests =
         check_bool "stays terminal" true (s4 = Budget.Shannon_only);
         (* terminal stage disarms the budget: checks are free *)
         Budget.check b ~where:"after");
+    Alcotest.test_case "attach re-arms a reused budget" `Quick (fun () ->
+        let b = Budget.create ~node_budget:0 () in
+        (* run 1: exceed the allowance, ride the ladder to the bottom *)
+        let m1 = Bdd.manager () in
+        Budget.attach b m1;
+        ignore (Bdd.and_ m1 (Bdd.var m1 0) (Bdd.var m1 1));
+        (match Budget.check b ~where:"run1" with
+        | () -> Alcotest.fail "expected Out_of_budget in run 1"
+        | exception Budget.Out_of_budget _ -> ());
+        ignore (Budget.degrade b m1 Budget.Nodes);
+        ignore (Budget.degrade b m1 Budget.Nodes);
+        ignore (Budget.degrade b m1 Budget.Nodes);
+        check_bool "run 1 ends at the terminal stage" true
+          (Budget.stage b = Budget.Shannon_only);
+        Budget.detach b m1;
+        (* run 2: attach must reset the stage and re-anchor the node
+           baseline at the new manager, not inherit run 1's state *)
+        let m2 = Bdd.manager () in
+        Budget.attach b m2;
+        check_bool "stage reset to full" true (Budget.stage b = Budget.Full);
+        Budget.check b ~where:"run2-fresh";
+        ignore (Bdd.and_ m2 (Bdd.var m2 0) (Bdd.var m2 1));
+        (match Budget.check b ~where:"run2" with
+        | () -> Alcotest.fail "expected a fresh allowance to be enforced"
+        | exception Budget.Out_of_budget { reason = Budget.Nodes; _ } -> ()
+        | exception Budget.Out_of_budget { reason = Budget.Deadline; _ } ->
+            Alcotest.fail "wrong reason");
+        Budget.detach b m2);
+    Alcotest.test_case "polls land in the run's own stats" `Quick (fun () ->
+        let stats_a = Stats.create () and stats_b = Stats.create () in
+        let a = Budget.create ~node_budget:1_000_000 ~stats:stats_a () in
+        let b = Budget.create ~node_budget:1_000_000 ~stats:stats_b () in
+        let m = Bdd.manager () in
+        Budget.attach a m;
+        Budget.check a ~where:"one";
+        Budget.check a ~where:"two";
+        Budget.detach a m;
+        check_bool "budget a counted its own polls" true
+          (stats_a.Stats.budget_checks >= 2);
+        let a_polls = stats_a.Stats.budget_checks in
+        Budget.attach b m;
+        Budget.check b ~where:"three";
+        Budget.detach b m;
+        check_bool "budget b counted its own polls" true
+          (stats_b.Stats.budget_checks >= 1);
+        (* the growth hook may add polls, but never to the other run *)
+        check_int "no cross-talk into a" a_polls stats_a.Stats.budget_checks);
     Alcotest.test_case "effort names roundtrip" `Quick (fun () ->
         List.iter
           (fun e ->
@@ -111,18 +158,20 @@ let degradation_tests =
       (fun () ->
         let m = Bdd.manager () in
         let spec = cone_spec m ~seed:3 in
-        Stats.reset Stats.global;
-        let budget = Budget.create ~timeout:0.0 () in
-        let report = Driver.decompose_report ~budget m spec in
+        let stats = Stats.create () in
+        let budget = Budget.create ~timeout:0.0 ~stats () in
+        let report = Driver.decompose_report ~budget ~stats m spec in
         check_bool "degraded to shannon-only" true
           (report.Driver.degraded_to = Budget.Shannon_only);
         check_bool "verified" true
           (Driver.verify m spec report.Driver.network);
         let stages =
-          List.map (fun (s, _, _) -> s) (Stats.degradations Stats.global)
+          List.map (fun (s, _, _) -> s) (Stats.degradations stats)
         in
         check_bool "ladder recorded in firing order" true
-          (stages = [ "no-symmetry"; "no-sharing"; "shannon-only" ]));
+          (stages = [ "no-symmetry"; "no-sharing"; "shannon-only" ]);
+        check_bool "budget polls recorded in the run's own stats" true
+          (stats.Stats.budget_checks > 0));
     Alcotest.test_case "tiny node budget: degraded but correct" `Quick
       (fun () ->
         let m = Bdd.manager () in

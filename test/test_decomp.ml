@@ -365,12 +365,83 @@ let score_cache_props =
         && Array.for_all2 Isf.equal extended direct);
   ]
 
+let bits_tests =
+  [
+    Alcotest.test_case "ceil_log2 boundaries" `Quick (fun () ->
+        check_int "1" 0 (Bits.ceil_log2 1);
+        check_int "2" 1 (Bits.ceil_log2 2);
+        check_int "3" 2 (Bits.ceil_log2 3);
+        check_int "4" 2 (Bits.ceil_log2 4);
+        check_int "5" 3 (Bits.ceil_log2 5);
+        for k = 1 to 1024 do
+          let b = Bits.ceil_log2 k in
+          check_bool "2^b covers k" true (1 lsl b >= k);
+          check_bool "b is minimal" true (b = 0 || 1 lsl (b - 1) < k)
+        done);
+    Alcotest.test_case "ceil_log2 near max_int terminates" `Quick (fun () ->
+        (* pre-fix, doubling the cap past max_int/2 overflowed to a
+           negative and the loop never terminated *)
+        check_int "2^61" 61 (Bits.ceil_log2 (1 lsl 61));
+        check_int "2^61 + 1" 62 (Bits.ceil_log2 ((1 lsl 61) + 1));
+        check_int "max_int" 62 (Bits.ceil_log2 max_int));
+    Alcotest.test_case "ceil_log2 rejects nonpositive arguments" `Quick
+      (fun () ->
+        List.iter
+          (fun k ->
+            match Bits.ceil_log2 k with
+            | _ -> Alcotest.fail (Printf.sprintf "expected a raise on %d" k)
+            | exception Invalid_argument _ -> ())
+          [ 0; -1; min_int ])
+  ]
+
+(* Zero-overlap regression: a bound set that intersects no ISF support
+   used to score (0, 1) — in joint-first mode (lut_size > 3) that beat
+   every genuine candidate, so the greedy search could grow a window of
+   vacuous variables and the step made no progress. *)
+let bound_select_tests =
+  [
+    Alcotest.test_case "zero-support-overlap bound sets score worst" `Quick
+      (fun () ->
+        let x0 = Bdd.var man 0 and x1 = Bdd.var man 1 and x2 = Bdd.var man 2 in
+        let isfs =
+          [
+            Isf.of_csf man (Bdd.and_ man x0 (Bdd.or_ man x1 x2));
+            Isf.of_csf man (Bdd.xor man x0 x1);
+          ]
+        in
+        List.iter
+          (fun lut_size ->
+            let genuine = Bound_select.score ~lut_size man isfs [ 0; 1 ] in
+            let vacuous = Bound_select.score ~lut_size man isfs [ 6; 7 ] in
+            check_bool
+              (Printf.sprintf "genuine beats vacuous at lut size %d" lut_size)
+              true (genuine < vacuous))
+          [ 2; 3; 4; 5 ]);
+    Alcotest.test_case "select never picks a window outside every support"
+      `Quick (fun () ->
+        let x0 = Bdd.var man 0 and x1 = Bdd.var man 1 in
+        let isfs =
+          [ Isf.of_csf man (Bdd.and_ man x0 x1);
+            Isf.of_csf man (Bdd.xor man x0 x1) ]
+        in
+        (* four eligible variables the ISFs do not depend on: enough to
+           fill a whole lut_size-4 window with vacuous variables *)
+        let eligible = [ 0; 1; 8; 9; 10; 11 ] in
+        let groups = List.map (fun v -> [ (v, false) ]) eligible in
+        let cfg = Config.with_lut_size 4 Config.mulop_dc in
+        match Bound_select.select man cfg ~groups ~eligible isfs with
+        | None -> Alcotest.fail "expected a bound set"
+        | Some bound ->
+            check_bool "bound set overlaps a support" true
+              (List.exists (fun v -> v = 0 || v = 1) bound))
+  ]
+
 let stats_tests =
   [
     Alcotest.test_case "stats counters monotone across a driver run" `Quick
       (fun () ->
+        let s = Stats.create () in
         let snapshot () =
-          let s = Stats.global in
           [
             s.Stats.score_calls;
             s.Stats.score_hits;
@@ -383,7 +454,6 @@ let stats_tests =
             s.Stats.evicted;
           ]
         in
-        Stats.reset Stats.global;
         let st = Random.State.make [| 42 |] in
         let m = Bdd.manager () in
         let spec =
@@ -395,18 +465,19 @@ let stats_tests =
             ]
         in
         let before = snapshot () in
-        let net1 = Driver.decompose m spec in
+        let net1 = Driver.decompose ~stats:s m spec in
         check_bool "verifies (1)" true (Driver.verify m spec net1);
         let middle = snapshot () in
         let net2 =
-          Driver.decompose ~cfg:(Config.with_lut_size 3 Config.mulop_dc) m spec
+          Driver.decompose
+            ~cfg:(Config.with_lut_size 3 Config.mulop_dc)
+            ~stats:s m spec
         in
         check_bool "verifies (2)" true (Driver.verify m spec net2);
         let after = snapshot () in
         check_bool "counters only grow" true
           (List.for_all2 ( <= ) before middle
           && List.for_all2 ( <= ) middle after);
-        let s = Stats.global in
         check_bool "a real run makes score calls" true (s.Stats.score_calls > 0);
         check_bool "the cache is actually hit" true (s.Stats.score_hits > 0);
         check_bool "hits within calls" true
@@ -415,7 +486,13 @@ let stats_tests =
           s.Stats.cof_lookups
           (s.Stats.cof_hits + s.Stats.cof_extends + s.Stats.cof_fresh);
         check_bool "phase buckets recorded" true
-          (Hashtbl.length s.Stats.phases > 0))
+          (Hashtbl.length s.Stats.phases > 0);
+        (* a run that isn't handed a stats instance must not touch ours *)
+        let middle2 = snapshot () in
+        let net3 = Driver.decompose m spec in
+        check_bool "verifies (3)" true (Driver.verify m spec net3);
+        check_bool "unthreaded run leaves foreign stats alone" true
+          (snapshot () = middle2))
   ]
 
 let clb_tests =
@@ -486,7 +563,7 @@ let clb_tests =
 let suite =
   classes_tests @ encode_tests @ step_tests
   @ [ scoring_mode_regression ]
-  @ stats_tests @ clb_tests
+  @ bits_tests @ bound_select_tests @ stats_tests @ clb_tests
   @ List.map
       (fun p -> QCheck_alcotest.to_alcotest ~long:false p)
       (classes_props @ encode_props @ score_cache_props

@@ -14,5 +14,6 @@ let () =
       ("reorder", Test_reorder.suite);
       ("extra", Test_extra.suite);
       ("budget", Test_budget.suite);
+      ("batch", Test_batch.suite);
       ("check", Test_check.suite);
     ]
