@@ -5,8 +5,8 @@
      dune exec bench/main.exe -- table1 figure2 ...   -- selected sections
      dune exec bench/main.exe -- quick    -- skip the slowest circuits
 
-   Sections: table1 table2 figure2 figure3 ablation governor check robdd
-   batch timing
+   Sections: table1 table2 figure2 figure3 ablation governor check
+   semantics robdd batch timing
 
    Paper-vs-measured records land in EXPERIMENTS.md; this executable
    prints the measured side next to the reference values that the
@@ -342,6 +342,50 @@ let check_overhead quick =
     "\n(cheap/full columns are overhead relative to off; findings are from\n\
      the full run and must be 0 on a healthy build)\n"
 
+(* ------------------------------------------------------------------ *)
+(* Semantic-pass overhead: --check=full vs --check=deep                *)
+(* ------------------------------------------------------------------ *)
+
+let semantics_overhead quick =
+  hr "Semantics: SDC/ODC dataflow overhead (mulop-dc, n_LUT = 5)";
+  Printf.printf
+    "Wall time of one mulop-dc run at --check=full vs --check=deep (the\n\
+     latter adds the semantic SDC/ODC dataflow over the final network\n\
+     against the specification's care set).  Deep checks are pure\n\
+     observers too: CLB counts must match, and SEM findings on the\n\
+     engine's own output indicate leftover don't cares.\n\n";
+  Printf.printf "%-8s | %8s %8s | %7s | %8s\n" "circuit" "full" "deep"
+    "deep" "SEM find";
+  let circuits =
+    if quick then [ "rd73"; "misex1"; "5xp1" ]
+    else [ "rd73"; "rd84"; "misex1"; "5xp1"; "clip"; "sao2"; "alu2" ]
+  in
+  List.iter
+    (fun name ->
+      let e = Mcnc.find name in
+      let one checks =
+        let m = Bdd.manager () in
+        let spec = e.Mcnc.build m in
+        time (fun () ->
+            Mulop.run ~checks ~stats:!section_stats m Mulop.Mulop_dc spec)
+      in
+      let o_full, t_full = one Diagnostic.Full in
+      let o_deep, t_deep = one Diagnostic.Deep in
+      assert (o_full.Mulop.clb_count = o_deep.Mulop.clb_count);
+      let sem =
+        List.filter
+          (fun f -> String.length f.Diagnostic.code >= 3
+                    && String.sub f.Diagnostic.code 0 3 = "SEM")
+          o_deep.Mulop.findings
+      in
+      let pct = 100.0 *. ((t_deep /. Float.max 1e-9 t_full) -. 1.0) in
+      Printf.printf "%-8s | %7.3fs %7.3fs | %+6.0f%% | %8d\n" name t_full
+        t_deep pct (List.length sem))
+    circuits;
+  Printf.printf
+    "\n(deep column is overhead relative to full; SEM findings count the\n\
+     semantic-dataflow findings of the deep run)\n"
+
 let robdd _quick =
   hr "Extension: ROBDD size under don't-care symmetrization (EDTC'97 effect)";
   Printf.printf
@@ -557,6 +601,7 @@ let () =
   run "ablation" ablation;
   run "governor" governor;
   run "check" check_overhead;
+  run "semantics" semantics_overhead;
   run "robdd" robdd;
   run "batch" batch_scaling;
   run "timing" timing;

@@ -56,11 +56,13 @@ let check_arg =
           "Assertion layer: $(b,off) (default), $(b,cheap) (bookkeeping \
            invariants: well-formed ISFs, refinement of committed don't-care \
            phases, proper clique covers, injective encodings, structural \
-           soundness of the final network) or $(b,full) (additionally \
+           soundness of the final network), $(b,full) (additionally \
            BDD-equivalence obligations: committed symmetries, step \
-           composition vs specification, emitted LUT tables).  Checks never \
-           change the result; findings are printed after the run and any \
-           $(b,Error) finding makes the command exit 1.")
+           composition vs specification, emitted LUT tables) or $(b,deep) \
+           (additionally the semantic SDC/ODC dataflow passes over the \
+           final network against the specification's care set).  Checks \
+           never change the result; findings are printed after the run and \
+           any $(b,Error) finding makes the command exit 1.")
 
 (* Findings of a checked run: print them (stderr-like, but on stdout so
    they interleave with the run summary) and fail on errors. *)
@@ -434,7 +436,21 @@ let lint_cmd =
             "Only run the structural (Error-level) passes; skip dead-LUT, \
              duplicate-LUT and degenerate-table warnings.")
   in
-  let lint target lut_size json codes no_style =
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Additionally run the semantic SDC/ODC dataflow passes \
+             ($(b,SEM*) codes) over a $(b,.blif) network: unreachable LUT \
+             rows, functionally dead or constant nodes, semantic \
+             duplicates, identical outputs, unexploited don't cares.  \
+             Builds global BDDs, so it costs real time on large networks; \
+             a built-in budget truncates the analysis (SEM008) rather \
+             than hanging.  Requires the structural passes to be clean.  \
+             Ignored for $(b,.pla) files.")
+  in
+  let lint target lut_size json codes no_style deep =
     setup_logs false;
     if codes then begin
       List.iter
@@ -453,9 +469,24 @@ let lint_cmd =
     in
     let style = not no_style in
     let analyze () =
-      if Filename.check_suffix target ".blif" then
+      if Filename.check_suffix target ".blif" then begin
         let net = Blif.parse_file target in
-        Net_check.analyze ?lut_size ~style net
+        let structural = Net_check.analyze ?lut_size ~style net in
+        if deep && Diagnostic.errors structural = [] then begin
+          (* The semantic passes need a traversable network and global
+             BDDs; a generous default budget keeps the command
+             interactive on pathological inputs. *)
+          let m = Bdd.manager () in
+          let var_of_input =
+            let tbl = Hashtbl.create 16 in
+            List.iteri (fun k (name, _) -> Hashtbl.add tbl name k) (Network.inputs net);
+            fun name -> Hashtbl.find tbl name
+          in
+          let check = Careflow.limiter ~max_nodes:4_000_000 ~timeout:30.0 m () in
+          structural @ Semantics.analyze ~check m ~var_of_input net
+        end
+        else structural
+      end
       else if Filename.check_suffix target ".pla" then
         let pla = Pla.parse_file target in
         Pla_check.analyze (Bdd.manager ()) pla
@@ -491,11 +522,140 @@ let lint_cmd =
            `P "$(b,2) when Warnings but no Errors are present;";
            `P "$(b,3) on parse or I/O failure.";
          ])
-    Term.(const lint $ target $ lut_size $ json $ codes $ no_style)
+    Term.(const lint $ target $ lut_size $ json $ codes $ no_style $ deep)
+
+let audit_cmd =
+  let golden =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"GOLDEN" ~doc:"Reference network ($(b,.blif)).")
+  in
+  let candidate =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CANDIDATE" ~doc:"Network under audit ($(b,.blif)).")
+  in
+  let pla =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pla" ] ~docv:"SPEC"
+          ~doc:
+            "A $(b,.pla) specification whose don't-care plane defines the \
+             care set: the networks only have to agree where $(docv) \
+             cares.  Without it every minterm is cared for (plain \
+             combinational equivalence).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit findings as JSON instead of text.")
+  in
+  let audit golden candidate pla json =
+    setup_logs false;
+    let m = Bdd.manager () in
+    let run () =
+      let g_net = Blif.parse_file golden in
+      let c_net = Blif.parse_file candidate in
+      (* Both networks must be structurally sound before their global
+         functions can be built. *)
+      List.iter
+        (fun (path, net) ->
+          let errors = Diagnostic.errors (Net_check.analyze ~style:false net) in
+          if errors <> [] then begin
+            Printf.eprintf "mfd audit: %s is structurally broken:\n" path;
+            Format.eprintf "%a@." Diagnostic.pp_list errors;
+            exit 3
+          end)
+        [ (golden, g_net); (candidate, c_net) ];
+      (* One common variable space: the union of the input names of both
+         networks (and of the specification, if given). *)
+      let var_tbl = Hashtbl.create 16 in
+      let inputs = ref [] in
+      let bind name =
+        if not (Hashtbl.mem var_tbl name) then begin
+          let v = Hashtbl.length var_tbl in
+          Hashtbl.add var_tbl name v;
+          inputs := (name, v) :: !inputs
+        end
+      in
+      List.iter (fun (name, _) -> bind name) (Network.inputs g_net);
+      List.iter (fun (name, _) -> bind name) (Network.inputs c_net);
+      let care_of_output =
+        match pla with
+        | None -> None
+        | Some path ->
+            let p = Pla.parse_file path in
+            List.iter bind p.Pla.input_names;
+            let cols = Array.of_list p.Pla.input_names in
+            let isfs =
+              Pla.to_isfs m
+                ~var_of_column:(fun k -> Hashtbl.find var_tbl cols.(k))
+                p
+            in
+            Some
+              (fun name ->
+                match List.assoc_opt name isfs with
+                | Some isf -> Isf.care m isf
+                | None -> Bdd.one m)
+      in
+      let findings =
+        Semantics.audit ?care_of_output m ~inputs:(List.rev !inputs)
+          ~golden:g_net ~candidate:c_net
+      in
+      if json then print_string (Diagnostic.to_json findings)
+      else if findings = [] then
+        Format.printf "equivalent%s@."
+          (if pla = None then "" else " modulo the specification's don't cares")
+      else Format.printf "%a@." Diagnostic.pp_list findings;
+      exit (if findings = [] then 0 else 1)
+    in
+    match run () with
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 3
+    | exception Blif.Parse_error (line, msg) ->
+        Printf.eprintf "%s: %d: %s\n" golden line msg;
+        exit 3
+    | exception Pla.Parse_error (line, msg) ->
+        Printf.eprintf "%s: %d: %s\n"
+          (Option.value ~default:"spec" pla)
+          line msg;
+        exit 3
+    | () -> ()
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Prove two BLIF networks equivalent, modulo a specification's \
+          don't-care set."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Builds the global BDDs of both networks over a shared input \
+              space and checks every output pair for equality wherever the \
+              specification cares.  With $(b,--pla), the don't-care plane \
+              of the PLA defines the care set per output — the audit \
+              accepts any network that realizes an extension of the \
+              incompletely specified function, which is exactly the \
+              contract of the decomposition engine.  Each disagreement is \
+              reported as a SEM007 finding with a counterexample minterm.";
+           `S Manpage.s_exit_status;
+           `P "$(b,0) when the networks are equivalent modulo the care set;";
+           `P "$(b,1) when any output disagrees inside the care set (or is \
+               missing on either side);";
+           `P "$(b,3) on parse or I/O failure, or a structurally broken \
+               input network.";
+         ])
+    Term.(const audit $ golden $ candidate $ pla $ json)
 
 let () =
   let doc = "multi-output functional decomposition with don't cares" in
   let info = Cmd.info "mfd" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; list_cmd; compare_cmd; batch_cmd; lint_cmd ]))
+       (Cmd.group info
+          [ run_cmd; list_cmd; compare_cmd; batch_cmd; lint_cmd; audit_cmd ]))

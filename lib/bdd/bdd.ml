@@ -375,6 +375,10 @@ let negate_var m f v =
   let lo, hi = cofactor2 m f v in
   ite m (var m v) lo hi
 
+let equal_on m ~care f g = is_zero (and_ m care (xor m f g))
+
+let miter m pairs = or_list m (List.map (fun (f, g) -> xor m f g) pairs)
+
 let sat_count m f ~nvars =
   ignore m;
   let cache = Hashtbl.create 64 in

@@ -140,6 +140,16 @@ val size : t -> int
 val size_list : t list -> int
 (** Nodes of the shared DAG of a list of functions. *)
 
+val equal_on : manager -> care:t -> t -> t -> bool
+(** [equal_on m ~care f g]: do [f] and [g] agree on every minterm of
+    [care]?  ([care = one] is plain {!equal}; the workhorse of the
+    care-set-aware equivalence audit.) *)
+
+val miter : manager -> (t * t) list -> t
+(** [miter m pairs] is the disjunction of the pairwise differences
+    [f xor g] — the classic equivalence miter: satisfiable exactly
+    where some pair disagrees. *)
+
 val sat_count : manager -> t -> nvars:int -> float
 (** Number of satisfying assignments over [nvars] variables (variables
     must all be in [0 .. nvars-1]). *)

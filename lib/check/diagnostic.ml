@@ -34,7 +34,20 @@ let catalogue =
     ("DEC008", Error, "emitted LUT table does not realize its ISF");
     ("PLA001", Warning, "PLA cube asserts an output both on and off");
     ("PLA002", Error, "duplicate signal name in .ilb/.ob");
+    ("SEM001", Warning, "unreachable LUT entry: no input vector exercises the table row (SDC)");
+    ("SEM002", Warning, "functionally dead node: complementing it never changes a cared-for output (ODC)");
+    ("SEM003", Warning, "node is functionally constant on the care set");
+    ("SEM004", Warning, "functional duplicate of another LUT up to fanin permutation/complement");
+    ("SEM005", Warning, "two primary outputs compute the same function on the care set");
+    ("SEM006", Info, "unexploited don't care: free table bits fixed inconsistently with a mergeable twin");
+    ("SEM007", Error, "networks differ inside the care set (care-set-aware inequivalence)");
+    ("SEM008", Info, "semantic analysis truncated by the resource budget; findings are partial");
   ]
+
+(* Bump whenever the catalogue gains, loses or reclassifies a code, so
+   machine consumers of the JSON report can detect a vocabulary skew.
+   1 = the NET/DEC/PLA families, 2 = + the SEM semantic family. *)
+let catalogue_version = "2"
 
 let severity_of_code code =
   List.find_map
@@ -64,6 +77,14 @@ let exit_code fs =
   | Some Warning -> 2
   | Some Info | None -> 0
 
+(* Deterministic rendering order: stable sort by (location, code), so
+   two runs over the same input byte-compare equal regardless of the
+   order in which independent passes fired.  Stability keeps same-key
+   findings (e.g. two NET001s on one LUT) in firing order. *)
+let normalize fs =
+  let key f = ((match f.loc with Some l -> l | None -> ""), f.code) in
+  List.stable_sort (fun a b -> compare (key a) (key b)) fs
+
 let pp fmt f =
   Format.fprintf fmt "%s[%s]%s: %s" (severity_name f.severity) f.code
     (match f.loc with Some l -> " " ^ l | None -> "")
@@ -72,6 +93,7 @@ let pp fmt f =
 let pp_list fmt = function
   | [] -> Format.fprintf fmt "clean: no findings"
   | fs ->
+      let fs = normalize fs in
       Format.fprintf fmt "@[<v>";
       List.iter (fun f -> Format.fprintf fmt "%a@," pp f) fs;
       Format.fprintf fmt "%d error(s), %d warning(s), %d info@]"
@@ -104,17 +126,25 @@ let to_json fs =
         field "message" (quote f.message);
       ]
   in
-  "[" ^ String.concat "," (List.map (fun f -> "{" ^ one f ^ "}") fs) ^ "]"
+  let body =
+    "[" ^ String.concat "," (List.map (fun f -> "{" ^ one f ^ "}") (normalize fs)) ^ "]"
+  in
+  Printf.sprintf "{\"catalogue\":\"%s\",\"findings\":%s}" catalogue_version body
 
-type level = Off | Cheap | Full
+type level = Off | Cheap | Full | Deep
 
-let level_name = function Off -> "off" | Cheap -> "cheap" | Full -> "full"
+let level_name = function
+  | Off -> "off"
+  | Cheap -> "cheap"
+  | Full -> "full"
+  | Deep -> "deep"
 
 let level_of_string = function
   | "off" -> Ok Off
   | "cheap" -> Ok Cheap
   | "full" -> Ok Full
-  | s -> Error (Printf.sprintf "unknown check level %S (off|cheap|full)" s)
+  | "deep" -> Ok Deep
+  | s -> Error (Printf.sprintf "unknown check level %S (off|cheap|full|deep)" s)
 
-let rank = function Off -> 0 | Cheap -> 1 | Full -> 2
+let rank = function Off -> 0 | Cheap -> 1 | Full -> 2 | Deep -> 3
 let at_least level threshold = rank level >= rank threshold

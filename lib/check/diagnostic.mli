@@ -30,7 +30,13 @@ val catalogue : (string * severity * string) list
 (** Every known code with its severity and a one-line description, in
     code order.  [NET*] codes are network-structure passes, [DEC*]
     codes are decomposition invariants, [PLA*] codes are two-level
-    input hygiene. *)
+    input hygiene, [SEM*] codes are the semantic (SDC/ODC dataflow)
+    passes of {!Semantics}. *)
+
+val catalogue_version : string
+(** Version tag of the catalogue, embedded in the JSON report so
+    machine consumers can detect vocabulary skew.  Bumped whenever a
+    code is added, removed or reclassified. *)
 
 val severity_of_code : string -> severity option
 
@@ -47,16 +53,24 @@ val exit_code : t list -> int
 
 (** {1 Rendering} *)
 
+val normalize : t list -> t list
+(** Stable sort by (location, code) — the deterministic order both
+    renderers use.  Two runs over the same input render byte-identical
+    reports regardless of pass scheduling; findings sharing a location
+    and code keep their firing order. *)
+
 val pp : Format.formatter -> t -> unit
 (** [error[NET001] loc: message] — one line. *)
 
 val pp_list : Format.formatter -> t list -> unit
-(** One finding per line followed by a severity summary; prints
-    ["clean"] for an empty list. *)
+(** One finding per line (in {!normalize} order) followed by a severity
+    summary; prints ["clean"] for an empty list. *)
 
 val to_json : t list -> string
-(** A JSON array of [{"code","severity","loc","message"}] objects
-    (["loc"] is [null] when absent). *)
+(** A JSON object [{"catalogue":V,"findings":[...]}] where [V] is
+    {!catalogue_version} and each finding is a
+    [{"code","severity","loc","message"}] object (["loc"] is [null]
+    when absent), in {!normalize} order. *)
 
 (** {1 Check levels} *)
 
@@ -66,12 +80,15 @@ val to_json : t list -> string
     encodings, structural soundness of the final network), [Full] adds
     the BDD-equivalence obligations (committed symmetries really hold,
     every committed step composes back to its specification under the
-    care set, every emitted LUT realizes its ISF). *)
-type level = Off | Cheap | Full
+    care set, every emitted LUT realizes its ISF), and [Deep]
+    additionally runs the semantic SDC/ODC dataflow passes
+    ({!Semantics}) over the final network against the specification's
+    care set. *)
+type level = Off | Cheap | Full | Deep
 
 val level_name : level -> string
 val level_of_string : string -> (level, string) result
 
 val at_least : level -> level -> bool
 (** [at_least level threshold]: does [level] include the checks of
-    [threshold]?  ([Off < Cheap < Full].) *)
+    [threshold]?  ([Off < Cheap < Full < Deep].) *)

@@ -2,6 +2,31 @@
    networks: nothing here calls an accessor that assumes the very
    invariants being checked. *)
 
+(* Sort the fanins by signal id (original position as tie-break, so
+   duplicate fanin signals stay stable) and permute the table to match:
+   two LUTs computing the same local function of the same fanins in a
+   different order canonicalize identically.  [remap] sends a row index
+   of the canonical table back to the original table. *)
+let canonical_lut fanins tt =
+  let k = Array.length fanins in
+  let order = Array.init k Fun.id in
+  Array.sort
+    (fun a b ->
+      compare
+        (Network.signal_id fanins.(a), a)
+        (Network.signal_id fanins.(b), b))
+    order;
+  let sorted = Array.map (fun old_j -> fanins.(old_j)) order in
+  let remap c =
+    let idx = ref 0 in
+    Array.iteri
+      (fun new_j old_j ->
+        if (c lsr new_j) land 1 = 1 then idx := !idx lor (1 lsl old_j))
+      order;
+    !idx
+  in
+  (sorted, Bv.of_fun k (fun c -> Bv.get tt (remap c)), remap)
+
 let analyze ?lut_size ?(style = true) net =
   let n = Network.node_count net in
   let findings = ref [] in
@@ -101,18 +126,24 @@ let analyze ?lut_size ?(style = true) net =
           let loc = name_of s in
           if not reachable.(i) then
             add ~loc "NET006" "LUT is not reachable from any output";
+          (* Canonical key: fanins sorted with the table permuted to
+             match, so duplicates are caught regardless of fanin order
+             (one hash per LUT, O(n) over the network). *)
+          let sorted, ctt, _ = canonical_lut fanins tt in
           let key =
             String.concat ","
-              (Array.to_list (Array.map (fun f -> string_of_int (Network.signal_id f)) fanins))
+              (Array.to_list (Array.map (fun f -> string_of_int (Network.signal_id f)) sorted))
             ^ ":"
             ^ String.concat ""
-                (List.init (1 lsl Bv.nvars tt) (fun j ->
-                     if Bv.get tt j then "1" else "0"))
+                (List.init (1 lsl Bv.nvars ctt) (fun j ->
+                     if Bv.get ctt j then "1" else "0"))
           in
           (match Hashtbl.find_opt tt_keys key with
           | Some first ->
               add ~loc "NET007"
-                (Printf.sprintf "duplicate of LUT %s (same fanins and table)" first)
+                (Printf.sprintf
+                   "duplicate of LUT %s (same fanins and table up to fanin order)"
+                   first)
           | None -> Hashtbl.add tt_keys key loc);
           let arity = Bv.nvars tt in
           let constant =

@@ -18,4 +18,14 @@
 
 val analyze : ?lut_size:int -> ?style:bool -> Network.t -> Diagnostic.t list
 (** All findings, in node order.  [lut_size] arms the [NET005] width
-    pass; [style] (default [true]) enables the style family. *)
+    pass; [style] (default [true]) enables the style family.  The
+    [NET007] duplicate pass canonicalizes each LUT (fanins sorted,
+    table permuted to match), so duplicates are found regardless of
+    fanin order. *)
+
+val canonical_lut :
+  Network.signal array -> Bv.t -> Network.signal array * Bv.t * (int -> int)
+(** [canonical_lut fanins tt]: the fanins sorted by signal id with the
+    table permuted accordingly, plus the map from canonical table rows
+    back to original ones.  The canonical form of the [NET007] pass,
+    shared with the [SEM006] mergeable-twin pass of {!Semantics}. *)

@@ -1,0 +1,249 @@
+(* The SEM passes: semantic lint over the Careflow SDC/ODC dataflow.
+   All iteration is over lists/arrays in topological order, never over
+   hashtable order, so reports are deterministic run to run. *)
+
+let rows_blurb rows total =
+  let shown = List.filteri (fun i _ -> i < 8) rows in
+  Printf.sprintf "%s%s of %d"
+    (String.concat ","
+       (List.map (fun c -> string_of_int c) shown))
+    (if List.length rows > List.length shown then ",..." else "")
+    total
+
+(* Stable human name for a node: input name, first output it drives, or
+   a synthetic n<id> (same convention as Net_check). *)
+let namer net =
+  let output_of = Hashtbl.create 16 in
+  List.iter
+    (fun (name, s) ->
+      let i = Network.signal_id s in
+      if not (Hashtbl.mem output_of i) then Hashtbl.add output_of i name)
+    (Network.outputs net);
+  fun s ->
+    match Network.view net s with
+    | `Input name -> name
+    | `Const _ | `Lut _ -> (
+        let i = Network.signal_id s in
+        match Hashtbl.find_opt output_of i with
+        | Some name -> name
+        | None -> Printf.sprintf "n%d" i)
+
+let of_flow m net flow =
+  let name_of = namer net in
+  let findings = ref [] in
+  let add ?loc code msg = findings := Diagnostic.make ?loc code msg :: !findings in
+  let no_care = Bdd.is_zero flow.Careflow.care_any in
+  (* A table bit is free when no cared-for input vector both reaches its
+     row and observes the node: flipping it can never change a cared-for
+     output. *)
+  let free info c =
+    Bdd.is_zero
+      (Bdd.and_ m info.Careflow.code_sets.(c) info.Careflow.observable)
+  in
+  List.iter
+    (fun info ->
+      let loc = name_of info.Careflow.signal in
+      let nrows = Array.length info.Careflow.code_sets in
+      (* SEM001: unreachable table rows (satisfiability don't cares).
+         With an empty care space every row is vacuously unreachable;
+         reporting that would just restate the degenerate care set. *)
+      let sdc_rows =
+        List.filter
+          (fun c -> Bdd.is_zero info.Careflow.code_sets.(c))
+          (List.init nrows Fun.id)
+      in
+      if sdc_rows <> [] && nrows > 1 && not no_care then
+        add ~loc "SEM001"
+          (Printf.sprintf
+             "table row%s %s unreachable from the primary inputs"
+             (if List.length sdc_rows > 1 then "s" else "")
+             (rows_blurb sdc_rows nrows));
+      (* SEM002: functionally dead (ODC covers the whole care space) *)
+      if Bdd.is_zero info.Careflow.observable && not no_care then
+        add ~loc "SEM002"
+          "complementing this node never changes any cared-for output";
+      (* SEM003: constant on the care set (NET008 only sees the table) *)
+      if not no_care then begin
+        let g = info.Careflow.global in
+        if Bdd.equal_on m ~care:flow.Careflow.care_any g (Bdd.zero m) then
+          add ~loc "SEM003" "computes constant 0 on the care set"
+        else if Bdd.equal_on m ~care:flow.Careflow.care_any g (Bdd.one m) then
+          add ~loc "SEM003" "computes constant 1 on the care set"
+      end)
+    flow.Careflow.nodes;
+  (* SEM004: functional duplicates up to fanin permutation/complement.
+     Constant-on-care nodes are excluded (SEM003 already owns them). *)
+  if not no_care then begin
+    let care = flow.Careflow.care_any in
+    let interesting =
+      List.filter
+        (fun info ->
+          let g = info.Careflow.global in
+          (not (Bdd.equal_on m ~care g (Bdd.zero m)))
+          && not (Bdd.equal_on m ~care g (Bdd.one m)))
+        flow.Careflow.nodes
+    in
+    let rec scan = function
+      | [] -> ()
+      | info :: rest ->
+          (match
+             List.find_opt
+               (fun prev ->
+                 Bdd.equal_on m ~care prev.Careflow.global info.Careflow.global
+                 || Bdd.equal_on m ~care
+                      (Bdd.not_ m prev.Careflow.global)
+                      info.Careflow.global)
+               (List.filter
+                  (fun prev ->
+                    Network.signal_id prev.Careflow.signal
+                    < Network.signal_id info.Careflow.signal)
+                  interesting)
+           with
+          | Some prev ->
+              let complemented =
+                not
+                  (Bdd.equal_on m ~care prev.Careflow.global
+                     info.Careflow.global)
+              in
+              add ~loc:(name_of info.Careflow.signal) "SEM004"
+                (Printf.sprintf
+                   "computes the same function as LUT %s on the care set%s"
+                   (name_of prev.Careflow.signal)
+                   (if complemented then " (complemented)" else ""))
+          | None -> ());
+          scan rest
+    in
+    scan interesting
+  end;
+  (* SEM005: identical primary outputs (on the union of their cares) *)
+  let rec out_pairs = function
+    | [] -> ()
+    | (name, g) :: rest ->
+        List.iter
+          (fun (name', g') ->
+            let care =
+              Bdd.or_ m
+                (List.assoc name flow.Careflow.cares)
+                (List.assoc name' flow.Careflow.cares)
+            in
+            if (not (Bdd.is_zero care)) && Bdd.equal_on m ~care g g' then
+              add ~loc:name' "SEM005"
+                (Printf.sprintf
+                   "provably identical to output %s on the care set" name))
+          rest;
+        out_pairs rest
+  in
+  out_pairs flow.Careflow.outputs;
+  (* SEM006: mergeable twins — same fanin set, tables differing only in
+     free bits that were fixed inconsistently.  Grouping uses the same
+     canonical form as the structural NET007 pass.  Every bit is
+     trivially free on an empty care space, so the pass needs one. *)
+  let groups = Hashtbl.create 16 in
+  let group_keys = ref [] in
+  if not no_care then
+  List.iter
+    (fun info ->
+      match Network.view net info.Careflow.signal with
+      | `Input _ | `Const _ -> ()
+      | `Lut (fanins, tt) ->
+          let sorted, ctt, remap = Net_check.canonical_lut fanins tt in
+          let key =
+            String.concat ","
+              (Array.to_list
+                 (Array.map
+                    (fun f -> string_of_int (Network.signal_id f))
+                    sorted))
+          in
+          if not (Hashtbl.mem groups key) then group_keys := key :: !group_keys;
+          Hashtbl.add groups key (info, ctt, remap))
+    flow.Careflow.nodes;
+  List.iter
+    (fun key ->
+      match List.rev (Hashtbl.find_all groups key) with
+      | [] | [ _ ] -> ()
+      | members ->
+          let rec pairs = function
+            | [] -> ()
+            | (a, att, ra) :: rest ->
+                List.iter
+                  (fun (b, btt, rb) ->
+                    let nrows = 1 lsl Bv.nvars att in
+                    let differing =
+                      List.filter
+                        (fun c -> Bv.get att c <> Bv.get btt c)
+                        (List.init nrows Fun.id)
+                    in
+                    if
+                      differing <> []
+                      && List.for_all
+                           (fun c -> free a (ra c) || free b (rb c))
+                           differing
+                    then
+                      add ~loc:(name_of b.Careflow.signal) "SEM006"
+                        (Printf.sprintf
+                           "row%s %s differ from LUT %s only in free don't-care \
+                            bits; assigning them alike would merge the LUTs"
+                           (if List.length differing > 1 then "s" else "")
+                           (rows_blurb differing nrows)
+                           (name_of a.Careflow.signal)))
+                  rest;
+                pairs rest
+          in
+          pairs members)
+    (List.rev !group_keys);
+  (* SEM008: the analysis was cut short *)
+  (match flow.Careflow.truncated with
+  | Some reason ->
+      add ~loc:"semantics" "SEM008"
+        (Printf.sprintf
+           "analysis truncated (%s): %d of %d nodes analyzed; findings are \
+            partial"
+           reason flow.Careflow.analyzed flow.Careflow.total)
+  | None -> ());
+  List.rev !findings
+
+let analyze ?care_of_output ?check m ~var_of_input net =
+  of_flow m net (Careflow.analyze ?care_of_output ?check m ~var_of_input net)
+
+let audit ?care_of_output m ~inputs ~golden ~candidate =
+  let var_of_input name =
+    match List.assoc_opt name inputs with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Semantics.audit: unmapped input %s" name)
+  in
+  let care_of name =
+    match care_of_output with Some f -> f name | None -> Bdd.one m
+  in
+  let g_out = Network.output_bdds golden m ~var_of_input in
+  let c_out = Network.output_bdds candidate m ~var_of_input in
+  let findings = ref [] in
+  let add ?loc code msg = findings := Diagnostic.make ?loc code msg :: !findings in
+  let counterexample diff =
+    let assignment = Bdd.any_sat diff in
+    String.concat " "
+      (List.map
+         (fun (name, v) ->
+           match List.assoc_opt v assignment with
+           | Some true -> name ^ "=1"
+           | Some false -> name ^ "=0"
+           | None -> name ^ "=-")
+         inputs)
+  in
+  List.iter
+    (fun (name, gf) ->
+      match List.assoc_opt name c_out with
+      | None -> add ~loc:name "SEM007" "output missing from the candidate network"
+      | Some cf ->
+          let diff = Bdd.and_ m (care_of name) (Bdd.xor m gf cf) in
+          if not (Bdd.is_zero diff) then
+            add ~loc:name "SEM007"
+              (Printf.sprintf
+                 "networks disagree inside the care set, e.g. at %s"
+                 (counterexample diff)))
+    g_out;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name g_out) then
+        add ~loc:name "SEM007" "output missing from the golden network")
+    c_out;
+  List.rev !findings

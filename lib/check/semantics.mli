@@ -1,0 +1,61 @@
+(** Semantic lint passes ([SEM*] codes) over the {!Careflow} SDC/ODC
+    dataflow, plus the care-set-aware equivalence audit.
+
+    Where the structural [NET*] passes see only the netlist graph,
+    these passes see the functions it computes — they measure exactly
+    the don't cares the decomposition engine was supposed to exploit:
+
+    - [SEM001]: a LUT table row no input vector can exercise (an
+      SDC-masked table bit);
+    - [SEM002]: a node whose complementation never changes a cared-for
+      output (ODC covers the whole care space — functionally dead);
+    - [SEM003]: a node whose global function is constant on the care
+      set (a constant the structural [NET008] pass cannot see);
+    - [SEM004]: two LUTs computing the same (or complementary) global
+      function on the care set — the semantic duplicates the
+      structural [NET007] pass misses;
+    - [SEM005]: two primary outputs provably identical on the union of
+      their care sets;
+    - [SEM006]: two LUTs over the same fanins whose tables differ only
+      in {e free} bits (rows that are unreachable or unobservable) —
+      don't cares left unexploited by fixing the free bits
+      inconsistently;
+    - [SEM008]: the analysis was truncated by its budget (Info).
+
+    [SEM007] (inequivalence inside the care set) is produced by
+    {!audit}.
+
+    Precondition as for {!Careflow.analyze}: structurally sound
+    networks only. *)
+
+val analyze :
+  ?care_of_output:(string -> Bdd.t) ->
+  ?check:(unit -> unit) ->
+  Bdd.manager ->
+  var_of_input:(string -> int) ->
+  Network.t ->
+  Diagnostic.t list
+(** Run the dataflow and all [SEM] passes.  [check] may raise
+    {!Careflow.Cutoff} to truncate (yielding a partial report plus
+    [SEM008]); [care_of_output] restricts both reachability and
+    observability to the specification's care set. *)
+
+val of_flow : Bdd.manager -> Network.t -> Careflow.t -> Diagnostic.t list
+(** The pass half of {!analyze}, for callers that run
+    {!Careflow.analyze} themselves (the decomposition driver does, so
+    it can record the analyzed-node count in its statistics). *)
+
+val audit :
+  ?care_of_output:(string -> Bdd.t) ->
+  Bdd.manager ->
+  inputs:(string * int) list ->
+  golden:Network.t ->
+  candidate:Network.t ->
+  Diagnostic.t list
+(** BDD equivalence of two networks {e modulo the care set}: for every
+    output, the two global functions must agree wherever the
+    specification cares.  [inputs] maps every input name of either
+    network to its BDD variable (the common space).  Findings are
+    [SEM007] errors — one per differing output, with a counterexample
+    minterm, and one per output present in only one network.  An empty
+    result is a proof of equivalence modulo the don't-care set. *)

@@ -53,6 +53,7 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
      same network as an unchecked one. *)
   let cheap = Diagnostic.at_least checks Diagnostic.Cheap in
   let full = Diagnostic.at_least checks Diagnostic.Full in
+  let deep = Diagnostic.at_least checks Diagnostic.Deep in
   let findings = ref [] in
   let emit_finding d =
     findings := d :: !findings;
@@ -595,6 +596,40 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
   if cheap then
     List.iter emit_finding
       (Net_check.analyze ~lut_size:cfg.Config.lut_size ~style:false net);
+  if deep then begin
+    (* The semantic SDC/ODC dataflow over the final network, against the
+       specification's care set.  The growth hook must come off first:
+       it raises [Out_of_budget] from inside BDD operations, where
+       [Careflow] cannot translate it into a graceful truncation.  The
+       budget is polled between nodes instead, and an exceedance yields
+       a partial report plus a SEM008 info finding rather than a
+       failure. *)
+    Budget.detach budget m;
+    let clock = Stats.clock stats in
+    let check () =
+      try Budget.check budget ~where:"semantics"
+      with Budget.Out_of_budget { reason; where } ->
+        let reason = Budget.reason_name reason in
+        Stats.add_degradation stats ~stage:"semantics-truncated" ~reason ~where;
+        raise (Careflow.Cutoff reason)
+    in
+    let var_of_input =
+      let tbl = Hashtbl.create 16 in
+      List.iteri (fun k name -> Hashtbl.add tbl name k) spec.input_names;
+      fun name -> Hashtbl.find tbl name
+    in
+    let care_of_output name =
+      match List.assoc_opt name spec.functions with
+      | Some isf -> Isf.care m isf
+      | None -> Bdd.one m
+    in
+    let flow = Careflow.analyze ~care_of_output ~check m ~var_of_input net in
+    stats.Stats.sem_nodes <- stats.Stats.sem_nodes + flow.Careflow.analyzed;
+    if flow.Careflow.truncated <> None then
+      stats.Stats.sem_truncations <- stats.Stats.sem_truncations + 1;
+    List.iter emit_finding (Semantics.of_flow m net flow);
+    ignore (Stats.mark clock "semantics")
+  end;
   {
     network = net;
     step_count = !step_count;

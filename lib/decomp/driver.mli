@@ -90,10 +90,14 @@ val decompose_report :
     obligations — committed symmetric groups really are symmetric
     ([DEC003]), every committed step composes back to a refinement of
     its specification ([DEC007]) and every emitted LUT table matches
-    the function it was derived from ([DEC008]).  Checks are pure
-    observers: findings are reported in [findings] (and mirrored into
-    the run's [stats]), and the produced network is identical to an
-    unchecked run's. *)
+    the function it was derived from ([DEC008]); at [Deep],
+    additionally the semantic SDC/ODC dataflow ({!Semantics}, [SEM*])
+    over the final network against the specification's care set —
+    budget-governed like the run itself, truncating to a partial report
+    plus [SEM008] instead of failing.  Checks are pure observers:
+    findings are reported in [findings] (and mirrored into the run's
+    [stats]), and the produced network is identical to an unchecked
+    run's. *)
 
 val verify : Bdd.manager -> spec -> Network.t -> bool
 (** Every output of the network extends the corresponding ISF of the

@@ -9,6 +9,8 @@ type t = {
   mutable retains : int;
   mutable evicted : int;
   mutable budget_checks : int;
+  mutable sem_nodes : int;
+  mutable sem_truncations : int;
   mutable degradations : (string * string * string) list;
   mutable findings : (string * string * string) list;
   phases : (string, float) Hashtbl.t;
@@ -26,6 +28,8 @@ let create () =
     retains = 0;
     evicted = 0;
     budget_checks = 0;
+    sem_nodes = 0;
+    sem_truncations = 0;
     degradations = [];
     findings = [];
     phases = Hashtbl.create 8;
@@ -42,6 +46,8 @@ let reset t =
   t.retains <- 0;
   t.evicted <- 0;
   t.budget_checks <- 0;
+  t.sem_nodes <- 0;
+  t.sem_truncations <- 0;
   t.degradations <- [];
   t.findings <- [];
   Hashtbl.reset t.phases
@@ -57,6 +63,8 @@ let merge ~into s =
   into.retains <- into.retains + s.retains;
   into.evicted <- into.evicted + s.evicted;
   into.budget_checks <- into.budget_checks + s.budget_checks;
+  into.sem_nodes <- into.sem_nodes + s.sem_nodes;
+  into.sem_truncations <- into.sem_truncations + s.sem_truncations;
   (* both lists are newest-first; keep the merged one newest-first too *)
   into.degradations <- s.degradations @ into.degradations;
   into.findings <- s.findings @ into.findings;
@@ -114,6 +122,9 @@ let pp fmt t =
     t.cof_lookups t.cof_hits t.cof_extends t.cof_fresh
     (100.0 *. cof_hit_rate t)
     t.restricts t.retains t.evicted;
+  if t.sem_nodes > 0 || t.sem_truncations > 0 then
+    Format.fprintf fmt "@,semantic dataflow: %d node(s) analyzed, %d truncation(s)"
+      t.sem_nodes t.sem_truncations;
   (match degradations t with
   | [] -> ()
   | ds ->

@@ -22,6 +22,10 @@ type t = {
   mutable retains : int;  (** cache invalidation passes *)
   mutable evicted : int;  (** entries dropped by invalidation *)
   mutable budget_checks : int;  (** {!Budget.check} polls performed *)
+  mutable sem_nodes : int;
+      (** LUT nodes analyzed by the deep semantic (SDC/ODC) pass *)
+  mutable sem_truncations : int;
+      (** semantic passes cut short by the budget (at most 1 per run) *)
   mutable degradations : (string * string * string) list;
       (** budget degradation events, newest first:
           [(stage entered, resource exceeded, where it was detected)] *)

@@ -215,6 +215,14 @@ let reachable t =
 
 let lut_signals t = lut_signals_marked t (reachable t)
 
+(* Node ids are allocated in construction order, so ascending id order
+   is a topological order on any sound network. *)
+let iter_cone t f =
+  let mark = reachable t in
+  for s = 0 to t.used - 1 do
+    if mark.(s) then f s
+  done
+
 let stats t =
   let mark = reachable t in
   let lut_count = ref 0 and max_fanin = ref 0 in

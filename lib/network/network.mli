@@ -97,6 +97,14 @@ val input_name : t -> signal -> string option
 val lut_signals : t -> signal list
 (** All LUT nodes reachable from the outputs, in topological order. *)
 
+val iter_cone : t -> (signal -> unit) -> unit
+(** Visit every node reachable from some output — inputs, constants and
+    LUTs — exactly once, every fanin strictly before its fanouts.  The
+    traversal backbone of the dataflow analyzers ({!Check} semantic
+    passes).  Only meaningful on structurally sound networks (fanins
+    in range and preceding their LUTs); run the structural [Net_check]
+    passes first on untrusted input. *)
+
 (** {1 Statistics} *)
 
 type stats = {

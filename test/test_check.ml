@@ -59,9 +59,13 @@ let diagnostic_tests =
     Alcotest.test_case "json rendering escapes and nulls" `Quick (fun () ->
         let d = Diagnostic.make "NET001" "a \"quoted\" name" in
         check_string "json"
-          "[{\"code\":\"NET001\",\"severity\":\"error\",\"loc\":null,\"message\":\"a \\\"quoted\\\" name\"}]"
+          ("{\"catalogue\":\"" ^ Diagnostic.catalogue_version
+         ^ "\",\"findings\":[{\"code\":\"NET001\",\"severity\":\"error\",\"loc\":null,\"message\":\"a \\\"quoted\\\" name\"}]}")
           (Diagnostic.to_json [ d ]);
-        check_string "empty" "[]" (Diagnostic.to_json []));
+        check_string "empty"
+          ("{\"catalogue\":\"" ^ Diagnostic.catalogue_version
+         ^ "\",\"findings\":[]}")
+          (Diagnostic.to_json []));
     Alcotest.test_case "levels are ordered" `Quick (fun () ->
         check_bool "full>=cheap" true
           (Diagnostic.at_least Diagnostic.Full Diagnostic.Cheap);

@@ -16,4 +16,5 @@ let () =
       ("budget", Test_budget.suite);
       ("batch", Test_batch.suite);
       ("check", Test_check.suite);
+      ("semantics", Test_semantics.suite);
     ]

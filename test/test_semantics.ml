@@ -1,0 +1,303 @@
+(* The semantic (SDC/ODC) dataflow passes: one hand-built network per
+   SEM code, the care-set-aware audit, and the pure-observer property of
+   deep-checked decomposition runs. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let tt bits =
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  Bv.of_fun (log2 (String.length bits)) (fun i -> bits.[i] = '1')
+
+let contains msg sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+  in
+  go 0
+
+let has ?loc code findings =
+  List.exists
+    (fun f ->
+      f.Diagnostic.code = code
+      && match loc with None -> true | Some l -> f.Diagnostic.loc = Some l)
+    findings
+
+let analyze ?care_of_output ?check net =
+  let m = Bdd.manager () in
+  let var_of_input =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun k (name, _) -> Hashtbl.add tbl name k) (Network.inputs net);
+    fun name -> Hashtbl.find tbl name
+  in
+  Semantics.analyze ?care_of_output ?check m ~var_of_input net
+
+(* x -> g = and(x,y) implies the or-LUT over (g, x) can never see
+   g=1, x=0: its row 1 is a satisfiability don't care. *)
+let sem001_net () =
+  let net = Network.create () in
+  let x = Network.add_input net "x" and y = Network.add_input net "y" in
+  let g = Network.add_lut net ~fanins:[ x; y ] ~tt:(tt "0001") in
+  let o = Network.add_lut net ~fanins:[ g; y ] ~tt:(tt "1001") in
+  Network.set_output net "o" o;
+  net
+
+(* o = xor(n, n) cancels n: complementing n flips both fanins at once,
+   so no output ever changes — n is functionally dead. *)
+let sem002_net () =
+  let net = Network.create () in
+  let x = Network.add_input net "x" and y = Network.add_input net "y" in
+  let n = Network.add_lut net ~fanins:[ x; y ] ~tt:(tt "0001") in
+  let o = Network.add_lut net ~fanins:[ n; n ] ~tt:(tt "0110") in
+  Network.set_output net "o" o;
+  net
+
+(* z = and(x, not x) by reconvergence: the table is a plain AND, but the
+   global function is the constant 0. *)
+let sem003_net () =
+  let net = Network.create () in
+  let x = Network.add_input net "x" in
+  let n = Network.not_gate net x in
+  let z = Network.add_lut net ~fanins:[ x; n ] ~tt:(tt "0001") in
+  Network.set_output net "z" z;
+  net
+
+(* and(x,y) built twice with different structure: directly, and as
+   nor(not x, not y).  No structural pass can relate them; their global
+   functions are equal. *)
+let sem004_net () =
+  let net = Network.create () in
+  let x = Network.add_input net "x" and y = Network.add_input net "y" in
+  let d = Network.add_lut net ~fanins:[ x; y ] ~tt:(tt "0001") in
+  let nx = Network.not_gate net x and ny = Network.not_gate net y in
+  let d' = Network.add_lut net ~fanins:[ nx; ny ] ~tt:(tt "1000") in
+  Network.set_output net "o1" d;
+  Network.set_output net "o2" d';
+  net
+
+(* Two LUTs over the same fanins whose tables differ only at the
+   unreachable row (g=1, x=0): the difference lives entirely inside the
+   don't cares, so the twins are mergeable. *)
+let sem006_net () =
+  let net = Network.create () in
+  let x = Network.add_input net "x" and y = Network.add_input net "y" in
+  let g = Network.add_lut net ~fanins:[ x; y ] ~tt:(tt "0001") in
+  let a = Network.add_lut net ~fanins:[ g; x ] ~tt:(tt "1001") in
+  let b = Network.add_lut net ~fanins:[ g; x ] ~tt:(tt "1101") in
+  Network.set_output net "oa" a;
+  Network.set_output net "ob" b;
+  net
+
+let sem_tests =
+  [
+    Alcotest.test_case "SEM001: unreachable LUT row" `Quick (fun () ->
+        let fs = analyze (sem001_net ()) in
+        check_bool "sem001" true (has ~loc:"o" "SEM001" fs));
+    Alcotest.test_case "SEM002: functionally dead node" `Quick (fun () ->
+        let fs = analyze (sem002_net ()) in
+        check_bool "sem002" true (has "SEM002" fs));
+    Alcotest.test_case "SEM003: constant by reconvergence" `Quick (fun () ->
+        let fs = analyze (sem003_net ()) in
+        check_bool "sem003" true (has ~loc:"z" "SEM003" fs);
+        (* the structural pass sees a perfectly ordinary AND table *)
+        check_bool "net008 silent" false
+          (has "NET008" (Net_check.analyze (sem003_net ()))));
+    Alcotest.test_case "SEM004: semantic duplicate" `Quick (fun () ->
+        let net = sem004_net () in
+        let fs = analyze net in
+        check_bool "sem004" true (has ~loc:"o2" "SEM004" fs);
+        check_bool "net007 silent" false (has "NET007" (Net_check.analyze net)));
+    Alcotest.test_case "SEM005: identical outputs" `Quick (fun () ->
+        let fs = analyze (sem004_net ()) in
+        check_bool "sem005" true (has ~loc:"o2" "SEM005" fs));
+    Alcotest.test_case "SEM006: mergeable twins" `Quick (fun () ->
+        let fs = analyze (sem006_net ()) in
+        check_bool "sem006" true (has ~loc:"ob" "SEM006" fs));
+    Alcotest.test_case "SEM008: budget truncation" `Quick (fun () ->
+        let net = sem001_net () in
+        let calls = ref 0 in
+        let check () =
+          incr calls;
+          if !calls > 1 then raise (Careflow.Cutoff "test budget")
+        in
+        let fs = analyze ~check net in
+        check_bool "sem008" true (has "SEM008" fs));
+    Alcotest.test_case "no care set silences the dataflow" `Quick (fun () ->
+        (* With an empty care set nothing is observable and nothing is
+           reachable; the passes must not drown the report in findings
+           that only reflect the vacuous care space. *)
+        let m = Bdd.manager () in
+        let net = sem004_net () in
+        let var_of_input =
+          let tbl = Hashtbl.create 8 in
+          List.iteri
+            (fun k (name, _) -> Hashtbl.add tbl name k)
+            (Network.inputs net);
+          fun name -> Hashtbl.find tbl name
+        in
+        let fs =
+          Semantics.analyze
+            ~care_of_output:(fun _ -> Bdd.zero m)
+            m ~var_of_input net
+        in
+        check_bool "no sem001" false (has "SEM001" fs);
+        check_bool "no sem002" false (has "SEM002" fs);
+        check_bool "no sem003" false (has "SEM003" fs);
+        check_bool "no sem004" false (has "SEM004" fs);
+        check_bool "no sem005" false (has "SEM005" fs);
+        check_bool "no sem006" false (has "SEM006" fs));
+  ]
+
+(* ---- the care-set-aware audit (SEM007) ---- *)
+
+(* f = x or y versus f = x xor y: they differ exactly at x=y=1. *)
+let audit_nets () =
+  let golden = Network.create () in
+  let x = Network.add_input golden "x" and y = Network.add_input golden "y" in
+  Network.set_output golden "f" (Network.or_gate golden x y);
+  let candidate = Network.create () in
+  let x' = Network.add_input candidate "x"
+  and y' = Network.add_input candidate "y" in
+  Network.set_output candidate "f" (Network.xor_gate candidate x' y');
+  (golden, candidate)
+
+let audit_tests =
+  [
+    Alcotest.test_case "audit: disagreement is SEM007 with witness" `Quick
+      (fun () ->
+        let golden, candidate = audit_nets () in
+        let m = Bdd.manager () in
+        let fs =
+          Semantics.audit m
+            ~inputs:[ ("x", 0); ("y", 1) ]
+            ~golden ~candidate
+        in
+        check_int "one finding" 1 (List.length fs);
+        let f = List.hd fs in
+        check_string "code" "SEM007" f.Diagnostic.code;
+        check_bool "witness names both inputs" true
+          (contains f.Diagnostic.message "x=1"
+          && contains f.Diagnostic.message "y=1"));
+    Alcotest.test_case "audit: don't cares excuse the disagreement" `Quick
+      (fun () ->
+        let golden, candidate = audit_nets () in
+        let m = Bdd.manager () in
+        (* care set = everything except x=y=1 *)
+        let care =
+          Bdd.not_ m (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1))
+        in
+        let fs =
+          Semantics.audit
+            ~care_of_output:(fun _ -> care)
+            m
+            ~inputs:[ ("x", 0); ("y", 1) ]
+            ~golden ~candidate
+        in
+        check_int "clean" 0 (List.length fs));
+    Alcotest.test_case "audit: missing outputs on either side" `Quick
+      (fun () ->
+        let golden, _ = audit_nets () in
+        let candidate = Network.create () in
+        let x = Network.add_input candidate "x"
+        and y = Network.add_input candidate "y" in
+        Network.set_output candidate "g" (Network.or_gate candidate x y);
+        let m = Bdd.manager () in
+        let fs =
+          Semantics.audit m
+            ~inputs:[ ("x", 0); ("y", 1) ]
+            ~golden ~candidate
+        in
+        check_bool "golden's f missing" true (has ~loc:"f" "SEM007" fs);
+        check_bool "candidate's g missing" true (has ~loc:"g" "SEM007" fs));
+  ]
+
+(* ---- regression: NET007 catches permuted duplicates ---- *)
+
+let net007_tests =
+  [
+    Alcotest.test_case "NET007: duplicate up to fanin order" `Quick (fun () ->
+        let net = Network.create () in
+        let x = Network.add_input net "x" and y = Network.add_input net "y" in
+        (* x and not y, once as (x, y) and once as (y, x) with the table
+           permuted to match: same local function, different structure. *)
+        let a = Network.add_lut net ~fanins:[ x; y ] ~tt:(tt "0100") in
+        let b = Network.add_lut net ~fanins:[ y; x ] ~tt:(tt "0010") in
+        Network.set_output net "oa" a;
+        Network.set_output net "ob" b;
+        check_bool "flagged" true (has "NET007" (Net_check.analyze net)));
+    Alcotest.test_case "NET007: permuted but different stays silent" `Quick
+      (fun () ->
+        let net = Network.create () in
+        let x = Network.add_input net "x" and y = Network.add_input net "y" in
+        (* x and not y vs y and not x: same table under the fanin swap,
+           but the permutation corrects it to a different function. *)
+        let a = Network.add_lut net ~fanins:[ x; y ] ~tt:(tt "0100") in
+        let b = Network.add_lut net ~fanins:[ y; x ] ~tt:(tt "0100") in
+        Network.set_output net "oa" a;
+        Network.set_output net "ob" b;
+        check_bool "silent" false (has "NET007" (Net_check.analyze net)));
+  ]
+
+(* ---- determinism: rendering is independent of finding order ---- *)
+
+let determinism_tests =
+  [
+    Alcotest.test_case "renderers are order-independent" `Quick (fun () ->
+        let fs =
+          [
+            Diagnostic.make ~loc:"b" "NET006" "dead";
+            Diagnostic.make ~loc:"a" "NET008" "constant";
+            Diagnostic.make ~loc:"a" "NET006" "dead";
+            Diagnostic.make "NET001" "dangling";
+          ]
+        in
+        let rev = List.rev fs in
+        let text l = Format.asprintf "%a" Diagnostic.pp_list l in
+        check_string "text" (text fs) (text rev);
+        check_string "json" (Diagnostic.to_json fs) (Diagnostic.to_json rev);
+        (* normalized order: no-loc first, then by (loc, code) *)
+        let codes =
+          List.map (fun f -> f.Diagnostic.code) (Diagnostic.normalize fs)
+        in
+        check_bool "sorted" true
+          (codes = [ "NET001"; "NET006"; "NET008"; "NET006" ]));
+    Alcotest.test_case "deep lint of a fixed net renders stably" `Quick
+      (fun () ->
+        let render () =
+          Diagnostic.to_json (analyze (sem006_net ()))
+        in
+        check_string "byte-identical" (render ()) (render ()));
+  ]
+
+(* ---- property: deep checks are pure observers ---- *)
+
+let names n = List.init n (fun i -> Printf.sprintf "x%d" i)
+
+let gen_fun n =
+  let open QCheck2.Gen in
+  let+ bits = list_size (return (1 lsl n)) bool in
+  let arr = Array.of_list bits in
+  Bv.of_fun n (fun i -> arr.(i))
+
+let props =
+  [
+    QCheck2.Test.make ~name:"deep checks are pure observers" ~count:25
+      QCheck2.Gen.(pair (gen_fun 6) (gen_fun 6))
+      (fun (bv1, bv2) ->
+        let run checks =
+          let m = Bdd.manager () in
+          let spec =
+            Driver.spec_of_csf m (names 6)
+              [ ("f", Bv.to_bdd m bv1); ("g", Bv.to_bdd m bv2) ]
+          in
+          let r = Driver.decompose_report ~checks m spec in
+          let s = Network.stats r.Driver.network in
+          (s.Network.lut_count, s.Network.depth, s.Network.max_fanin)
+        in
+        run Diagnostic.Off = run Diagnostic.Deep);
+  ]
+
+let suite =
+  sem_tests @ audit_tests @ net007_tests @ determinism_tests
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props
