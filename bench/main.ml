@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- quick    -- skip the slowest circuits
 
    Sections: table1 table2 figure2 figure3 ablation governor check
-   semantics robdd batch timing
+   semantics robdd batch serve timing
 
    Paper-vs-measured records land in EXPERIMENTS.md; this executable
    prints the measured side next to the reference values that the
@@ -483,7 +483,7 @@ let batch_scaling quick =
       (fun r ->
         match r.Batch.outcome with
         | Ok s -> (r.Batch.job, s.Batch.lut_count, s.Batch.clb_count)
-        | Error msg -> failwith (r.Batch.job ^ ": " ^ msg))
+        | Error e -> failwith (r.Batch.job ^ ": " ^ e.Batch.message))
       report.Batch.results
   in
   let _, rep1 = List.hd reports in
@@ -502,6 +502,83 @@ let batch_scaling quick =
   List.iter
     (fun r -> Stats.merge ~into:!section_stats r.Batch.stats)
     rep1.Batch.results
+
+let serve_bench quick =
+  hr "Serve: daemon cold/warm latency and cache hit rate";
+  Printf.printf
+    "An in-process `mfd serve` daemon on a Unix socket: every circuit is\n\
+     submitted twice over the same connection.  The first pass computes\n\
+     and fills the cross-request result cache (keyed on canonical\n\
+     function fingerprints); the second pass must be answered from the\n\
+     cache, so the warm latency is pure protocol + lookup cost.\n\n";
+  let circuits =
+    if quick then [ "rd53"; "sym6" ] else [ "rd53"; "sym6"; "maj9"; "parity12" ]
+  in
+  let path =
+    Printf.sprintf "%s/mfd-bench-%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ())
+  in
+  let endpoint = Server.Unix_socket path in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Server.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          { (Server.default_config endpoint) with Server.jobs = 2 })
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  let c = Client.connect endpoint in
+  let submit name =
+    let t0 = Mono.now () in
+    match
+      Client.call c
+        (Proto.Run
+           {
+             Proto.source = Proto.Target name;
+             lut_size = 5;
+             algorithm = Mulop.Mulop_dc;
+             effort = None;
+             timeout = None;
+             node_budget = None;
+             checks = Diagnostic.Off;
+             verify = false;
+           })
+    with
+    | Ok (Proto.Ok_run (_, r)) -> (Mono.now () -. t0, r)
+    | Ok (Proto.Err { message; _ }) -> failwith (name ^ ": " ^ message)
+    | Ok _ -> failwith (name ^ ": unexpected response")
+    | Error msg -> failwith (name ^ ": " ^ msg)
+  in
+  Printf.printf "%-10s | %10s %10s %8s\n" "circuit" "cold" "warm" "speedup";
+  List.iter
+    (fun name ->
+      let cold, r1 = submit name in
+      let warm, r2 = submit name in
+      assert (not r1.Proto.cached);
+      assert r2.Proto.cached;
+      assert (r1.Proto.blif = r2.Proto.blif);
+      Printf.printf "%-10s | %8.2fms %8.2fms %7.1fx\n" name (cold *. 1e3)
+        (warm *. 1e3)
+        (cold /. Float.max 1e-9 warm))
+    circuits;
+  (match Client.call c Proto.Stats with
+  | Ok (Proto.Ok_stats (_, s)) ->
+      Printf.printf
+        "\n\
+         server: %d jobs, %d cache hit(s) / %d miss(es) (%.0f%% hit rate), \
+         %d entries, %d bytes\n"
+        s.Proto.jobs_served s.Proto.result_hits s.Proto.result_misses
+        (100.0
+        *. float_of_int s.Proto.result_hits
+        /. float_of_int (max 1 (s.Proto.result_hits + s.Proto.result_misses)))
+        s.Proto.cache_entries s.Proto.cache_bytes
+  | _ -> ());
+  ignore (Client.call c Proto.Shutdown);
+  Client.close c;
+  Domain.join d
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches: one Test.make per table / figure           *)
@@ -604,5 +681,6 @@ let () =
   run "semantics" semantics_overhead;
   run "robdd" robdd;
   run "batch" batch_scaling;
+  run "serve" serve_bench;
   run "timing" timing;
   Printf.printf "\ndone.\n"

@@ -341,15 +341,26 @@ let batch_cmd =
         then Filename.basename target
         else target
       in
+      (* Structured rejection kinds: the report (and the serve protocol)
+         distinguish a client's bad input from an engine fault. *)
       Batch.job ~name (fun m ->
           match load_spec m target with
           | spec, _ -> spec
           | exception Not_found ->
-              failwith (Printf.sprintf "unknown benchmark %S" target)
+              raise
+                (Batch.Job_rejected
+                   ( Batch.Parse_error,
+                     Printf.sprintf "unknown benchmark %S" target ))
           | exception Blif.Parse_error (line, msg) ->
-              failwith (Printf.sprintf "%s:%d: %s" target line msg)
+              raise
+                (Batch.Job_rejected
+                   ( Batch.Parse_error,
+                     Printf.sprintf "%s:%d: %s" target line msg ))
           | exception Pla.Parse_error (line, msg) ->
-              failwith (Printf.sprintf "%s:%d: %s" target line msg))
+              raise
+                (Batch.Job_rejected
+                   ( Batch.Parse_error,
+                     Printf.sprintf "%s:%d: %s" target line msg )))
     in
     let report =
       Batch.run ~jobs ~lut_size ~algorithm ?timeout ?node_budget ?effort
@@ -652,10 +663,324 @@ let audit_cmd =
          ])
     Term.(const audit $ golden $ candidate $ pla $ json)
 
+(* ---- the daemon and its client ---- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket of the daemon.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N" ~doc:"TCP port of the daemon.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with $(b,--port)).")
+
+let endpoint_of socket port host =
+  match (socket, port) with
+  | Some path, _ -> Server.Unix_socket path
+  | None, Some p -> Server.Tcp (host, p)
+  | None, None ->
+      prerr_endline "mfd: need --socket PATH or --port N";
+      exit 2
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains decomposing jobs.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Bounded job-queue capacity.  A request arriving on a full \
+             queue is rejected with $(b,queue-full) and a retry hint — \
+             explicit backpressure instead of unbounded buffering.")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Byte cap of the cross-request result cache (LRU eviction).  \
+             Keyed on canonical function fingerprints, so repeat \
+             submissions of the same function are answered without \
+             recomputation.")
+  in
+  let max_frame_mb =
+    Arg.(
+      value & opt int 16
+      & info [ "max-frame-mb" ] ~docv:"MB" ~doc:"Largest accepted request frame.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
+  let serve socket port host jobs queue_depth cache_mb max_frame_mb verbose =
+    setup_logs verbose;
+    let listen = endpoint_of socket port host in
+    let config =
+      {
+        (Server.default_config listen) with
+        Server.jobs = max 1 jobs;
+        queue_depth = max 1 queue_depth;
+        cache_mb = max 1 cache_mb;
+        max_frame = max 1 max_frame_mb * 1024 * 1024;
+      }
+    in
+    let on_ready () =
+      (match listen with
+      | Server.Unix_socket path ->
+          Printf.printf "mfd serve: listening on %s" path
+      | Server.Tcp (host, port) ->
+          Printf.printf "mfd serve: listening on %s:%d" host port);
+      Printf.printf " (%d worker%s, queue %d, cache %d MiB)\n%!" config.Server.jobs
+        (if config.Server.jobs = 1 then "" else "s")
+        config.Server.queue_depth config.Server.cache_mb
+    in
+    Server.run ~on_ready config
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent decomposition daemon."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Listens on a Unix socket or TCP port for length-prefixed JSON \
+              requests (see $(b,mfd submit)).  Jobs run on a fixed pool of \
+              worker domains, each with its own BDD manager and budget — \
+              the same shared-nothing engine as $(b,mfd batch) — so a \
+              served result is byte-identical to the corresponding \
+              $(b,mfd run).  Results of unbudgeted runs are cached across \
+              requests, keyed on canonical function fingerprints rather \
+              than per-run BDD node ids.";
+           `P "A $(b,shutdown) request drains queued jobs and exits cleanly.";
+         ])
+    Term.(
+      const serve $ socket_arg $ port_arg $ host_arg $ jobs $ queue_depth
+      $ cache_mb $ max_frame_mb $ verbose)
+
+let submit_cmd =
+  let target =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Benchmark name, .blif file or .pla file (files are read \
+             locally and sent inline).  Required unless $(b,--ping), \
+             $(b,--server-stats) or $(b,--shutdown) is given.")
+  in
+  let op_arg =
+    Arg.(
+      value
+      & vflag `Run
+          [
+            (`Ping, info [ "ping" ] ~doc:"Check that the daemon is alive.");
+            ( `Stats,
+              info [ "server-stats" ]
+                ~doc:"Report daemon counters (cache hits, queue depth, ...)." );
+            (`Shutdown, info [ "shutdown" ] ~doc:"Ask the daemon to exit.");
+          ])
+  in
+  let algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv Mulop.Mulop_dc
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:"One of $(b,mulopII), $(b,mulop-dc), $(b,mulop-dcII).")
+  in
+  let lut_size =
+    Arg.(
+      value & opt int 5
+      & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT input count (2 for gates).")
+  in
+  let out_blif =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output-blif" ] ~docv:"FILE"
+          ~doc:"Write the served network as BLIF.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw response JSON instead of a summary.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Ask the server to check the result by BDD equivalence.")
+  in
+  let read_file path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | text -> text
+    | exception Sys_error msg ->
+        Printf.eprintf "mfd submit: %s\n" msg;
+        exit 2
+  in
+  let submit target socket port host op algorithm lut_size out_blif json verify
+      checks timeout node_budget effort =
+    let endpoint = endpoint_of socket port host in
+    let op =
+      match op with
+      | `Ping -> Proto.Ping
+      | `Stats -> Proto.Stats
+      | `Shutdown -> Proto.Shutdown
+      | `Run ->
+          let target =
+            match target with
+            | Some t -> t
+            | None ->
+                prerr_endline "mfd submit: TARGET required (or --ping/--server-stats/--shutdown)";
+                exit 2
+          in
+          let source =
+            if Filename.check_suffix target ".blif" then
+              Proto.Blif_text (read_file target)
+            else if Filename.check_suffix target ".pla" then
+              Proto.Pla_text (read_file target)
+            else Proto.Target target
+          in
+          Proto.Run
+            {
+              Proto.source;
+              lut_size;
+              algorithm;
+              effort;
+              timeout;
+              node_budget;
+              checks;
+              verify;
+            }
+    in
+    let client =
+      try Client.connect endpoint
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "mfd submit: cannot connect: %s\n" (Unix.error_message e);
+        exit 3
+    in
+    let response =
+      match Client.call client op with
+      | Ok resp -> resp
+      | Error msg ->
+          Printf.eprintf "mfd submit: protocol error: %s\n" msg;
+          exit 3
+      | exception (Frame.Closed | Unix.Unix_error _) ->
+          prerr_endline "mfd submit: connection lost";
+          exit 3
+    in
+    Client.close client;
+    if json then
+      print_endline (Proto.to_string (Proto.response_to_json response));
+    match response with
+    | Proto.Pong _ ->
+        if not json then print_endline "pong";
+        exit 0
+    | Proto.Bye _ ->
+        if not json then print_endline "server shutting down";
+        exit 0
+    | Proto.Ok_stats (_, s) ->
+        if not json then
+          Printf.printf
+            "jobs served    %d\n\
+             cache hits     %d\n\
+             cache misses   %d\n\
+             cache entries  %d\n\
+             cache bytes    %d\n\
+             queue          %d/%d\n\
+             workers        %d\n\
+             uptime         %.1fs\n"
+            s.Proto.jobs_served s.Proto.result_hits s.Proto.result_misses
+            s.Proto.cache_entries s.Proto.cache_bytes s.Proto.queue_depth
+            s.Proto.queue_capacity s.Proto.workers s.Proto.uptime_seconds;
+        exit 0
+    | Proto.Ok_run (_, r) ->
+        (match out_blif with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc r.Proto.blif;
+            close_out oc
+        | None -> ());
+        if not json then begin
+          Printf.printf
+            "%s: %-10s luts=%-4d clbs=%-4d depth=%-3d steps=%d shannon=%d"
+            r.Proto.job r.Proto.algorithm r.Proto.luts r.Proto.clbs
+            r.Proto.depth r.Proto.steps r.Proto.shannon;
+          if r.Proto.degraded_to <> Budget.stage_name Budget.Full then
+            Printf.printf " degraded=%s" r.Proto.degraded_to;
+          (match r.Proto.verified with
+          | Some ok -> Printf.printf " verified=%s" (if ok then "ok" else "FAILED")
+          | None -> ());
+          Printf.printf "%s (%.3fs)\n"
+            (if r.Proto.cached then " [cached]" else "")
+            r.Proto.seconds
+        end;
+        exit (match r.Proto.verified with Some false -> 1 | _ -> 0)
+    | Proto.Err { code; message; retry_after; _ } ->
+        Printf.eprintf "mfd submit: %s: %s%s\n"
+          (Proto.error_code_name code)
+          message
+          (match retry_after with
+          | Some t -> Printf.sprintf " (retry in %.2fs)" t
+          | None -> "");
+        exit
+          (match code with
+          | Proto.Queue_full | Proto.Shutting_down -> 4
+          | c when Proto.client_fault c -> 2
+          | _ -> 1)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a decomposition job to a running $(b,mfd serve) daemon."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Connects to the daemon, sends one request, prints the result.  \
+              A served decomposition is byte-identical to the corresponding \
+              $(b,mfd run); a repeat submission of the same function is \
+              answered from the daemon's result cache ($(b,[cached]) in the \
+              summary, $(b,\"cached\":true) in the JSON).";
+           `S Manpage.s_exit_status;
+           `P "$(b,0) on success (including ping/stats/shutdown);";
+           `P
+             "$(b,1) when the job failed server-side ($(b,failed), \
+              $(b,internal), $(b,out-of-budget)) or $(b,--verify) reported a \
+              mismatch;";
+           `P
+             "$(b,2) on a client fault: usage error, unreadable input file, \
+              or a request the server rejects deterministically \
+              ($(b,bad-request), $(b,too-large), $(b,parse-error));";
+           `P "$(b,3) when the daemon is unreachable or the protocol broke;";
+           `P
+             "$(b,4) when the request was not admitted but may be retried \
+              ($(b,queue-full) — with a retry hint — or $(b,shutting-down)).";
+         ])
+    Term.(
+      const submit $ target $ socket_arg $ port_arg $ host_arg $ op_arg
+      $ algorithm $ lut_size $ out_blif $ json $ verify $ check_arg
+      $ timeout_arg $ node_budget_arg $ effort_arg)
+
 let () =
   let doc = "multi-output functional decomposition with don't cares" in
   let info = Cmd.info "mfd" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; list_cmd; compare_cmd; batch_cmd; lint_cmd; audit_cmd ]))
+          [
+            run_cmd;
+            list_cmd;
+            compare_cmd;
+            batch_cmd;
+            lint_cmd;
+            audit_cmd;
+            serve_cmd;
+            submit_cmd;
+          ]))

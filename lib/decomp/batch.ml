@@ -13,8 +13,39 @@ type job = { name : string; build : Bdd.manager -> Driver.spec }
 
 let job ~name build = { name; build }
 
+type error_kind = Parse_error | Internal | Out_of_budget | Other
+
+let error_kind_name = function
+  | Parse_error -> "parse-error"
+  | Internal -> "internal"
+  | Out_of_budget -> "out-of-budget"
+  | Other -> "other"
+
+type error = { kind : error_kind; message : string }
+
+exception Job_rejected of error_kind * string
+
+(* Every failure a job can produce, folded into the structured taxonomy
+   instead of a flat string: the old [Failure msg -> Error msg] made a
+   parse error, a driver invariant violation and budget exhaustion
+   indistinguishable downstream, so the serve protocol could not tell a
+   client error from an engine fault. *)
+let classify = function
+  | Job_rejected (kind, message) -> { kind; message }
+  | Driver.Internal e -> { kind = Internal; message = Driver.internal_error_message e }
+  | Budget.Out_of_budget { reason; where } ->
+      {
+        kind = Out_of_budget;
+        message =
+          Printf.sprintf "out of budget: %s exceeded in %s"
+            (Budget.reason_name reason) where;
+      }
+  | Failure message -> { kind = Other; message }
+  | e -> { kind = Other; message = Printexc.to_string e }
+
 type summary = {
   algorithm : Mulop.algorithm;
+  network : Network.t;
   lut_count : int;
   clb_count : int;
   depth : int;
@@ -28,49 +59,65 @@ type summary = {
 
 type job_report = {
   job : string;
-  outcome : (summary, string) result;
+  outcome : (summary, error) result;
   seconds : float;
   stats : Stats.t;
 }
 
 type report = { results : job_report list; domains : int; wall : float }
 
+(* Decompose one already-built specification on the manager that built
+   it, under a fresh budget, confining every failure to a structured
+   [Error].  This is the shared engine of [run_job] and of the serve
+   daemon's workers (which must build the spec themselves first, to
+   fingerprint it for the cross-request cache). *)
+let run_one ?lut_size ?timeout ?node_budget ?effort ?checks ?(verify = false)
+    ~stats algorithm m spec =
+  match
+    let budget = Budget.create ?timeout ?node_budget ?effort ~stats () in
+    let o = Mulop.run ?lut_size ~budget ?checks ~stats m algorithm spec in
+    let verified =
+      if verify then Some (Driver.verify m spec o.Mulop.network) else None
+    in
+    {
+      algorithm;
+      network = o.Mulop.network;
+      lut_count = o.Mulop.lut_count;
+      clb_count = o.Mulop.clb_count;
+      depth = o.Mulop.depth;
+      step_count = o.Mulop.step_count;
+      shannon_count = o.Mulop.shannon_count;
+      alpha_count = o.Mulop.alpha_count;
+      degraded_to = o.Mulop.degraded_to;
+      findings = o.Mulop.findings;
+      verified;
+    }
+  with
+  | summary -> Ok summary
+  | exception e -> Error (classify e)
+
 (* One job, start to finish, inside whichever domain claimed it.  Every
    per-run resource is created here — manager, budget, stats — and
    every exception (parse error of a lazily loaded file, driver
    invariant violation, out-of-memory of a pathological instance) is
-   confined to this job's row instead of aborting the batch. *)
-let run_job ?lut_size ?timeout ?node_budget ?effort ?checks ?(verify = false)
-    algorithm jb =
+   confined to this job's row instead of aborting the batch.  Timing is
+   monotonic: a wall-clock (NTP) step mid-job must not produce negative
+   [seconds]. *)
+let run_job ?lut_size ?timeout ?node_budget ?effort ?checks ?verify algorithm
+    jb =
   let stats = Stats.create () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mono.now () in
   let outcome =
     match
       let m = Bdd.manager () in
-      let spec = jb.build m in
-      let budget = Budget.create ?timeout ?node_budget ?effort ~stats () in
-      let o = Mulop.run ?lut_size ~budget ?checks ~stats m algorithm spec in
-      let verified =
-        if verify then Some (Driver.verify m spec o.Mulop.network) else None
-      in
-      {
-        algorithm;
-        lut_count = o.Mulop.lut_count;
-        clb_count = o.Mulop.clb_count;
-        depth = o.Mulop.depth;
-        step_count = o.Mulop.step_count;
-        shannon_count = o.Mulop.shannon_count;
-        alpha_count = o.Mulop.alpha_count;
-        degraded_to = o.Mulop.degraded_to;
-        findings = o.Mulop.findings;
-        verified;
-      }
+      (m, jb.build m)
     with
-    | summary -> Ok summary
-    | exception Failure msg -> Error msg
-    | exception e -> Error (Printexc.to_string e)
+    | exception e -> Error (classify e)
+    | m, spec ->
+        run_one ?lut_size ?timeout ?node_budget ?effort ?checks ?verify ~stats
+          algorithm m spec
   in
-  { job = jb.name; outcome; seconds = Unix.gettimeofday () -. t0; stats }
+  { job = jb.name; outcome; seconds = Mono.now () -. t0; stats }
 
 let run ?(jobs = 1) ?lut_size ?(algorithm = Mulop.Mulop_dc) ?timeout
     ?node_budget ?effort ?checks ?verify job_list =
@@ -92,7 +139,7 @@ let run ?(jobs = 1) ?lut_size ?(algorithm = Mulop.Mulop_dc) ?timeout
     loop ()
   in
   let domains = max 1 (min jobs n) in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mono.now () in
   (* The calling domain is worker 0; only the extra workers are spawned.
      [run_job] catches everything, so a worker only dies on truly
      asynchronous exceptions; [Domain.join] re-raises those. *)
@@ -102,7 +149,7 @@ let run ?(jobs = 1) ?lut_size ?(algorithm = Mulop.Mulop_dc) ?timeout
   in
   worker ();
   List.iter Domain.join spawned;
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Mono.now () -. t0 in
   let results =
     Array.to_list
       (Array.map
@@ -114,7 +161,7 @@ let run ?(jobs = 1) ?lut_size ?(algorithm = Mulop.Mulop_dc) ?timeout
 let failures report =
   List.filter_map
     (fun r ->
-      match r.outcome with Ok _ -> None | Error msg -> Some (r.job, msg))
+      match r.outcome with Ok _ -> None | Error e -> Some (r.job, e))
     report.results
 
 let error_findings report =
@@ -150,9 +197,10 @@ let pp_text ?(stats = false) fmt report =
             | Some true -> " verified"
             | Some false -> " VERIFY-FAILED"
             | None -> "")
-      | Error msg ->
+      | Error e ->
           incr failed;
-          Format.fprintf fmt "%-12s | FAILED: %s@," r.job msg)
+          Format.fprintf fmt "%-12s | FAILED[%s]: %s@," r.job
+            (error_kind_name e.kind) e.message)
     report.results;
   Format.fprintf fmt "%-12s | %6d %6d %38s@," "total" !total_luts !total_clbs
     (Printf.sprintf "(%d jobs, %d domains, %.2fs wall%s)"
@@ -209,8 +257,12 @@ let to_json report =
           @ (match s.verified with
             | None -> []
             | Some ok -> [ field "verified" (string_of_bool ok) ])
-      | Error msg ->
-          [ field "status" (quote "failed"); field "error" (quote msg) ]
+      | Error e ->
+          [
+            field "status" (quote "failed");
+            field "error_kind" (quote (error_kind_name e.kind));
+            field "error" (quote e.message);
+          ]
     in
     "{" ^ String.concat "," (common @ rest) ^ "}"
   in

@@ -11,9 +11,12 @@
     cursor (an [Atomic.t]) and the result array, each slot of which is
     written by exactly one worker.
 
-    Failures are isolated per job: a parse error of a lazily loaded
-    file, a {!Driver.Internal} violation or any other exception becomes
-    that job's [Error] row instead of aborting the batch.
+    Failures are isolated per job and {e structured}: a parse error of
+    a lazily loaded file, a {!Driver.Internal} violation, budget
+    exhaustion and anything else become that job's [Error] row — with
+    its {!error_kind} preserved, so downstream consumers (batch
+    reports, the serve protocol's error codes) can tell a client error
+    from an engine fault instead of grepping a flattened string.
 
     The report is deterministic: job results are independent of
     scheduling (each run's manager starts empty, so node ids and every
@@ -31,8 +34,47 @@ type job = {
 
 val job : name:string -> (Bdd.manager -> Driver.spec) -> job
 
+(** {1 Failure taxonomy} *)
+
+type error_kind =
+  | Parse_error
+      (** the job's input could not be turned into a specification
+          (malformed BLIF/PLA, unknown benchmark) — a {e client}
+          error: resubmitting the same input will fail again *)
+  | Internal
+      (** a {!Driver.Internal} invariant violation — an {e engine}
+          fault worth a bug report *)
+  | Out_of_budget
+      (** a {!Budget.Out_of_budget} escaped the driver's degradation
+          ladder (it normally cannot; seeing this is a budget placed
+          on work outside the driver's control) *)
+  | Other  (** anything else, message preserved verbatim *)
+
+val error_kind_name : error_kind -> string
+(** Stable lowercase-hyphen names: ["parse-error"], ["internal"],
+    ["out-of-budget"], ["other"] — used in batch JSON and as serve
+    protocol error codes. *)
+
+type error = { kind : error_kind; message : string }
+
+exception Job_rejected of error_kind * string
+(** For job [build] functions: raise this to classify the failure
+    (e.g. [Job_rejected (Parse_error, "foo.blif:3: ...")]).  Any other
+    exception is classified by {!classify}. *)
+
+val classify : exn -> error
+(** The taxonomy map: {!Job_rejected} keeps its kind,
+    {!Driver.Internal} is [Internal], {!Budget.Out_of_budget} is
+    [Out_of_budget], [Failure] and everything else are [Other]. *)
+
+(** {1 Reports} *)
+
 type summary = {
   algorithm : Mulop.algorithm;
+  network : Network.t;
+      (** the produced LUT network — self-contained (plain truth
+          tables, no BDD references), so it outlives the job's manager;
+          the serve daemon renders it back to the client as BLIF *)
   lut_count : int;
   clb_count : int;
   depth : int;
@@ -46,16 +88,51 @@ type summary = {
 
 type job_report = {
   job : string;
-  outcome : (summary, string) result;
-  seconds : float;  (** wall time of this job inside its worker *)
+  outcome : (summary, error) result;
+  seconds : float;
+      (** monotonic wall time of this job inside its worker — immune
+          to NTP steps (never negative) *)
   stats : Stats.t;  (** the run's own counters and phase timings *)
 }
 
 type report = {
   results : job_report list;  (** in job submission order *)
   domains : int;  (** worker domains actually used *)
-  wall : float;  (** wall time of the whole batch *)
+  wall : float;  (** monotonic wall time of the whole batch *)
 }
+
+val run_one :
+  ?lut_size:int ->
+  ?timeout:float ->
+  ?node_budget:int ->
+  ?effort:Budget.effort ->
+  ?checks:Diagnostic.level ->
+  ?verify:bool ->
+  stats:Stats.t ->
+  Mulop.algorithm ->
+  Bdd.manager ->
+  Driver.spec ->
+  (summary, error) result
+(** Decompose one already-built specification on the manager that
+    built it, under a fresh budget, classifying any failure.  The
+    shared engine of {!run_job} and of the serve daemon's workers
+    (which build the spec first to fingerprint it for the
+    cross-request cache, then run on the same manager — the exact
+    code path of a CLI [mfd run], which is what makes served results
+    deterministic replicas). *)
+
+val run_job :
+  ?lut_size:int ->
+  ?timeout:float ->
+  ?node_budget:int ->
+  ?effort:Budget.effort ->
+  ?checks:Diagnostic.level ->
+  ?verify:bool ->
+  Mulop.algorithm ->
+  job ->
+  job_report
+(** One job start to finish: fresh manager, build, {!run_one}, timed
+    monotonically. *)
 
 val run :
   ?jobs:int ->
@@ -77,16 +154,18 @@ val run :
     Raises only on asynchronous exceptions (e.g. an interrupt); job
     failures are reported, not raised. *)
 
-val failures : report -> (string * string) list
-(** Failed jobs as [(job, error message)]. *)
+val failures : report -> (string * error) list
+(** Failed jobs as [(job, structured error)]. *)
 
 val error_findings : report -> (string * Diagnostic.t) list
 (** Error-level assertion findings across all jobs, with their job. *)
 
 val pp_text : ?stats:bool -> Format.formatter -> report -> unit
-(** Aligned per-job table with totals; [~stats:true] appends every
-    job's {!Stats} block. *)
+(** Aligned per-job table with totals; failed rows read
+    [FAILED[<kind>]: <message>]; [~stats:true] appends every job's
+    {!Stats} block. *)
 
 val to_json : report -> string
 (** The whole report as one JSON object ([domains], [wall_seconds],
-    [jobs] array with per-job status, counts and findings). *)
+    [jobs] array with per-job status, counts and findings; failed rows
+    carry ["error_kind"] and ["error"]). *)

@@ -26,7 +26,7 @@ let score ?cache ?stats ?(lut_size = max_int) m isfs bound =
   if relevant = [] then worst
   else begin
     let key () =
-      Score_cache.score_key ~lut_size (List.map fst relevant) bound
+      Score_cache.score_key m ~lut_size (List.map fst relevant) bound
     in
     let memo =
       match cache with

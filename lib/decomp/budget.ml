@@ -30,7 +30,7 @@ type t = {
   node_budget : int option;  (* allotment of fresh nodes per stage *)
   effort_level : effort;
   stats : Stats.t;  (* the attached run's counters ([budget_checks]) *)
-  mutable deadline : float option;  (* absolute gettimeofday time *)
+  mutable deadline : float option;  (* absolute Mono.now time *)
   mutable node_limit : int option;  (* absolute unique-table size limit *)
   mutable current : stage;
   mutable mask : int;  (* > 0: checks suspended (inside [exempt]) *)
@@ -70,7 +70,7 @@ let poll t ~where node_count =
     | Some limit when node_count > limit -> exceed Nodes where
     | Some _ | None -> ());
     match t.deadline with
-    | Some d when Unix.gettimeofday () > d -> exceed Deadline where
+    | Some d when Mono.now () > d -> exceed Deadline where
     | Some _ | None -> ()
   end
 
@@ -94,8 +94,10 @@ let attach t m =
        exhausted; each attach is the start of a fresh run. *)
     t.current <- Full;
     t.mask <- 0;
+    (* Monotonic: a wall-clock (NTP) step must not expire or extend a
+       running deadline. *)
     (match t.timeout with
-    | Some secs -> t.deadline <- Some (Unix.gettimeofday () +. secs)
+    | Some secs -> t.deadline <- Some (Mono.now () +. secs)
     | None -> t.deadline <- None);
     (match t.node_budget with
     | Some b -> t.node_limit <- Some (Bdd.node_count m + b)

@@ -534,7 +534,7 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
        hash-consed keys mean stale entries are unreachable, not
        wrong). *)
     if step_ok then
-      Score_cache.retain cache ~live:(List.map (fun it -> it.isf) !worklist);
+      Score_cache.retain cache m ~live:(List.map (fun it -> it.isf) !worklist);
     if not step_ok then
       (* No support shrank: split the primary by Shannon expansion.
          After two fruitless rounds the whole cofactor tree is

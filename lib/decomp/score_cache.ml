@@ -1,11 +1,21 @@
 (* Memoization layer for the bound-set search (the paper's inner loop:
    ncc(f, B) over many candidate bound sets).
 
-   Keys are canonical by hash consing: an ISF is identified by the pair
-   (id of on-set, id of dc-set), so two structurally equal ISFs of the
-   same manager share their cache entries, and entries of a rewritten
-   ISF can never be looked up by mistake — invalidation ([retain]) is
-   purely about bounding memory, never about correctness.
+   Keys are canonical by function fingerprints: an ISF is identified by
+   the pair of Bdd.fingerprint digests of its on- and dc-sets.  Unlike
+   the node-id keys this cache used to have, fingerprints do not die
+   with the per-run Bdd.manager — a score computed in one run can be
+   looked up by a later run that builds the same function in a fresh
+   manager, which is what the serve daemon's cross-request reuse needs.
+   Two structurally equal ISFs share their cache entries, and entries
+   of a rewritten ISF can never be looked up by mistake — invalidation
+   ([retain]) is purely about bounding memory, never about correctness.
+
+   Scores (pairs of ints) are manager-independent and persist across
+   managers.  Cofactor vectors are not: they hold Isf.t values tied to
+   the manager that built them, so the vector table is flushed whenever
+   the cache is presented with a different manager (physical equality
+   on the manager value).
 
    Cofactor vectors are the expensive part of a score: the table keyed
    by (isf, sorted bound set) lets a vector for B be extended to
@@ -14,12 +24,11 @@
    cofactors from the root; the greedy growth of Bound_select then
    reuses the current candidate's vector for every extension it
    scores, and Curtis retries and later driver iterations reuse
-   whatever the earlier searches left behind.  A cache instance is
-   tied to one Bdd.manager (node ids are only unique per manager). *)
+   whatever the earlier searches left behind. *)
 
-type isf_key = int * int
+type isf_key = string * string
 
-let isf_key f = (Bdd.id (Isf.on f), Bdd.id (Isf.dc f))
+let isf_key m f = (Bdd.fingerprint m (Isf.on f), Bdd.fingerprint m (Isf.dc f))
 
 type score_key = int * int list * isf_key list
 
@@ -27,16 +36,36 @@ type t = {
   stats : Stats.t;
   cof : (isf_key * int list, Isf.t array) Hashtbl.t;
   scores : (score_key, int * int) Hashtbl.t;
+  (* the manager whose Isf.t values the [cof] table currently holds *)
+  mutable cof_manager : Bdd.manager option;
 }
 
 let create ?(stats = Stats.create ()) () =
-  { stats; cof = Hashtbl.create 256; scores = Hashtbl.create 256 }
+  {
+    stats;
+    cof = Hashtbl.create 256;
+    scores = Hashtbl.create 256;
+    cof_manager = None;
+  }
 
 let stats t = t.stats
 
+(* Vectors hold manager-tied values; scores are plain ints.  When the
+   cache crosses to a new manager, the vectors of the old one must not
+   be served (their nodes belong to a foreign unique table), so the
+   vector table restarts empty while the scores carry over. *)
+let ensure_manager t m =
+  match t.cof_manager with
+  | Some m' when m' == m -> ()
+  | Some _ ->
+      Hashtbl.reset t.cof;
+      t.cof_manager <- Some m
+  | None -> t.cof_manager <- Some m
+
 let cofactor_vector t m f bound =
+  ensure_manager t m;
   t.stats.Stats.cof_lookups <- t.stats.Stats.cof_lookups + 1;
-  let fk = isf_key f in
+  let fk = isf_key m f in
   let hit_below = ref false in
   let rec get bound =
     match Hashtbl.find_opt t.cof (fk, bound) with
@@ -83,16 +112,16 @@ let cofactor_vector t m f bound =
       else t.stats.Stats.cof_fresh <- t.stats.Stats.cof_fresh + 1;
       vec
 
-let score_key ~lut_size isfs bound =
-  (lut_size, bound, List.map isf_key isfs)
+let score_key m ~lut_size isfs bound =
+  (lut_size, bound, List.map (isf_key m) isfs)
 
 let find_score t key = Hashtbl.find_opt t.scores key
 let add_score t key value = Hashtbl.replace t.scores key value
 
-let retain t ~live =
+let retain t m ~live =
   t.stats.Stats.retains <- t.stats.Stats.retains + 1;
   let alive = Hashtbl.create (List.length live * 2) in
-  List.iter (fun f -> Hashtbl.replace alive (isf_key f) ()) live;
+  List.iter (fun f -> Hashtbl.replace alive (isf_key m f) ()) live;
   let before = Hashtbl.length t.cof + Hashtbl.length t.scores in
   Hashtbl.filter_map_inplace
     (fun (fk, _) vec -> if Hashtbl.mem alive fk then Some vec else None)

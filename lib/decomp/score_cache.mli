@@ -5,13 +5,19 @@
     current candidate, Curtis retries rescore supersets, and successive
     driver iterations revisit the same (unchanged) ISFs.  A cache
     instance persists across all of them and is keyed canonically by
-    hash consing — an ISF is the pair of node ids of its on- and
-    dc-sets — so entries of rewritten ISFs are unreachable rather than
-    stale.  {!retain} drops entries of dead ISFs to bound memory after
-    the driver commits a step.
+    {e function fingerprints} ({!Bdd.fingerprint}) — an ISF is the pair
+    of digests of its on- and dc-sets — so entries of rewritten ISFs
+    are unreachable rather than stale.  {!retain} drops entries of dead
+    ISFs to bound memory after the driver commits a step.
 
-    A cache is tied to the {!Bdd.manager} whose ISFs it has seen (node
-    ids are only unique per manager); create one cache per manager. *)
+    Fingerprints are manager-independent, so a cache {e outlives} any
+    single {!Bdd.manager}: scores computed in one run are valid hits
+    for a later run that builds the same functions in a fresh manager
+    (the serve daemon's cross-request reuse, and the qcheck property
+    [cache-hit score = fresh score across two managers]).  Cofactor
+    vectors, by contrast, hold manager-tied {!Isf.t} values: the vector
+    table is automatically flushed when the cache is used with a
+    manager other than the one that filled it. *)
 
 type t
 
@@ -27,21 +33,25 @@ val cofactor_vector : t -> Bdd.manager -> Isf.t -> int list -> Isf.t array
     miss the vector is built by {!Isf.extend_cofactor_vector} from the
     nearest cached subset (every intermediate prefix is cached too), so
     growing searches pay one variable's worth of restricts per new
-    candidate instead of a full recomputation. *)
+    candidate instead of a full recomputation.  Switching managers
+    flushes the vector table (vectors are manager-tied); scores are
+    kept. *)
 
 type score_key
 
-val score_key : lut_size:int -> Isf.t list -> int list -> score_key
+val score_key : Bdd.manager -> lut_size:int -> Isf.t list -> int list -> score_key
 (** Key of a score query: the scoring mode ([lut_size]), the sorted
-    bound set, and the identities of the participating ISFs. *)
+    bound set, and the fingerprints of the participating ISFs.  The
+    manager is only needed to compute (memoized) fingerprints; the key
+    itself carries no per-manager state. *)
 
 val find_score : t -> score_key -> (int * int) option
 val add_score : t -> score_key -> int * int -> unit
 
-val retain : t -> live:Isf.t list -> unit
+val retain : t -> Bdd.manager -> live:Isf.t list -> unit
 (** Drop every entry that mentions an ISF outside [live].  Called by
     the driver after a committed step rewrites participant ISFs; pure
     memory hygiene — lookups of dead keys cannot collide with live
-    ones because node ids are never reused within a manager. *)
+    ones because fingerprints identify functions exactly. *)
 
 val clear : t -> unit

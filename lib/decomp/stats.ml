@@ -9,6 +9,8 @@ type t = {
   mutable retains : int;
   mutable evicted : int;
   mutable budget_checks : int;
+  mutable result_hits : int;
+  mutable result_misses : int;
   mutable sem_nodes : int;
   mutable sem_truncations : int;
   mutable degradations : (string * string * string) list;
@@ -28,6 +30,8 @@ let create () =
     retains = 0;
     evicted = 0;
     budget_checks = 0;
+    result_hits = 0;
+    result_misses = 0;
     sem_nodes = 0;
     sem_truncations = 0;
     degradations = [];
@@ -46,6 +50,8 @@ let reset t =
   t.retains <- 0;
   t.evicted <- 0;
   t.budget_checks <- 0;
+  t.result_hits <- 0;
+  t.result_misses <- 0;
   t.sem_nodes <- 0;
   t.sem_truncations <- 0;
   t.degradations <- [];
@@ -63,6 +69,8 @@ let merge ~into s =
   into.retains <- into.retains + s.retains;
   into.evicted <- into.evicted + s.evicted;
   into.budget_checks <- into.budget_checks + s.budget_checks;
+  into.result_hits <- into.result_hits + s.result_hits;
+  into.result_misses <- into.result_misses + s.result_misses;
   into.sem_nodes <- into.sem_nodes + s.sem_nodes;
   into.sem_truncations <- into.sem_truncations + s.sem_truncations;
   (* both lists are newest-first; keep the merged one newest-first too *)
@@ -101,12 +109,18 @@ let cof_hit_rate t =
   else
     float_of_int (t.cof_hits + t.cof_extends) /. float_of_int t.cof_lookups
 
+let result_hit_rate t =
+  let total = t.result_hits + t.result_misses in
+  if total = 0 then 0.0 else float_of_int t.result_hits /. float_of_int total
+
 type clock = { stats : t; mutable last : float }
 
-let clock stats = { stats; last = Unix.gettimeofday () }
+(* Monotonic, not gettimeofday: a phase duration must survive an NTP
+   step mid-run. *)
+let clock stats = { stats; last = Mono.now () }
 
 let mark ck name =
-  let now = Unix.gettimeofday () in
+  let now = Mono.now () in
   let dt = now -. ck.last in
   ck.last <- now;
   add_phase ck.stats name dt;
@@ -122,6 +136,10 @@ let pp fmt t =
     t.cof_lookups t.cof_hits t.cof_extends t.cof_fresh
     (100.0 *. cof_hit_rate t)
     t.restricts t.retains t.evicted;
+  if t.result_hits > 0 || t.result_misses > 0 then
+    Format.fprintf fmt "@,result cache: %d hit(s), %d miss(es) (%.1f%%)"
+      t.result_hits t.result_misses
+      (100.0 *. result_hit_rate t);
   if t.sem_nodes > 0 || t.sem_truncations > 0 then
     Format.fprintf fmt "@,semantic dataflow: %d node(s) analyzed, %d truncation(s)"
       t.sem_nodes t.sem_truncations;

@@ -1,0 +1,64 @@
+(* A bounded multi-producer multi-consumer queue.  The producer side
+   never blocks: [try_push] refuses when the queue is full, which is
+   the server's backpressure signal (the client gets queue-full with a
+   retry hint instead of the server buffering unboundedly).  The
+   consumer side blocks in [pop] until an item or close+drain. *)
+
+type 'a t = {
+  capacity : int;
+  items : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  {
+    capacity;
+    items = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let try_push t x =
+  Mutex.lock t.mutex;
+  let ok =
+    if t.closed || Queue.length t.items >= t.capacity then false
+    else begin
+      Queue.add x t.items;
+      Condition.signal t.nonempty;
+      true
+    end
+  in
+  Mutex.unlock t.mutex;
+  ok
+
+let pop t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+    else if t.closed then None
+    else begin
+      Condition.wait t.nonempty t.mutex;
+      wait ()
+    end
+  in
+  let r = wait () in
+  Mutex.unlock t.mutex;
+  r
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.items in
+  Mutex.unlock t.mutex;
+  n
+
+let capacity t = t.capacity

@@ -1,0 +1,25 @@
+(** A bounded multi-producer multi-consumer queue — the serve daemon's
+    job queue.  The producer side is non-blocking by design:
+    {!try_push} returning [false] {e is} the backpressure signal the
+    event loop turns into a [queue-full] protocol error, so a flooded
+    server degrades into explicit rejections instead of unbounded
+    buffering. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full or closed; never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available; [None] once the queue is closed
+    {e and} drained (workers exit on [None]). *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake all poppers; queued items are still
+    delivered. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int

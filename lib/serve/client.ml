@@ -1,0 +1,45 @@
+(* Minimal blocking client: one connection, framed request/response
+   round trips.  Used by [mfd submit] and the end-to-end tests. *)
+
+type t = { fd : Unix.file_descr; mutable next_id : int }
+
+let connect endpoint =
+  let fd, addr =
+    match endpoint with
+    | Server.Unix_socket path ->
+        (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Server.Tcp (host, port) ->
+        let ip =
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_loopback
+        in
+        (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0, Unix.ADDR_INET (ip, port))
+  in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; next_id = 0 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_raw t payload = Frame.write t.fd payload
+let fd t = t.fd
+
+let recv t =
+  let payload = Frame.read_frame t.fd in
+  match Proto.parse payload with
+  | Error msg -> Error (Printf.sprintf "unparseable response: %s" msg)
+  | Ok json -> Proto.response_of_json json
+
+let call t op =
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  send_raw t (Proto.to_string (Proto.request_to_json { Proto.id; op }));
+  recv t
+
+let send t op =
+  t.next_id <- t.next_id + 1;
+  send_raw t
+    (Proto.to_string (Proto.request_to_json { Proto.id = t.next_id; op }));
+  t.next_id

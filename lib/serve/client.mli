@@ -1,0 +1,29 @@
+(** Blocking client for the serve protocol — the engine of
+    [mfd submit] and of the end-to-end tests. *)
+
+type t
+
+val connect : Server.endpoint -> t
+(** Raises [Unix.Unix_error] when the daemon is not reachable. *)
+
+val close : t -> unit
+
+val call : t -> Proto.op -> (Proto.response, string) result
+(** One request/response round trip (ids are assigned internally).
+    @raise Frame.Closed if the server hangs up mid-response. *)
+
+val send : t -> Proto.op -> int
+(** Fire a request without waiting; returns its id.  With {!recv} this
+    lets tests pipeline requests (e.g. to fill the job queue and
+    observe the queue-full backpressure). *)
+
+val recv : t -> (Proto.response, string) result
+(** Read the next response frame. *)
+
+val send_raw : t -> string -> unit
+(** Write an arbitrary payload in one frame — for tests exercising the
+    server's rejection of malformed JSON. *)
+
+val fd : t -> Unix.file_descr
+(** The raw connection — for tests that need sub-frame write
+    granularity (partial-read reassembly). *)

@@ -1,0 +1,132 @@
+(* Length-prefixed framing: every message on the wire is a 4-byte
+   big-endian payload length followed by the payload bytes.  The
+   server's reader is incremental — it is fed whatever [read] returned
+   and yields complete frames, so a frame split across any number of
+   TCP segments (or a hostile byte-at-a-time client) reassembles
+   correctly.  Oversized frames are reported once and then drained
+   silently: the connection survives, the next frame parses. *)
+
+let header_size = 4
+
+let encode payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_size + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b header_size n;
+  b
+
+type mode =
+  | Header  (* collecting the 4 length bytes *)
+  | Body of int  (* collecting a payload of this size *)
+  | Skip of int * int  (* draining an oversized payload: declared, left *)
+
+type reader = {
+  max_frame : int;
+  buf : Buffer.t;  (* bytes collected for the current header/body *)
+  mutable mode : mode;
+  pending : Buffer.t;  (* fed bytes not yet consumed *)
+  mutable pos : int;  (* consumption cursor into [pending] *)
+}
+
+let reader ?(max_frame = 16 * 1024 * 1024) () =
+  {
+    max_frame;
+    buf = Buffer.create 256;
+    mode = Header;
+    pending = Buffer.create 256;
+    pos = 0;
+  }
+
+let feed r bytes off len =
+  (* Compact the pending buffer once everything fed so far has been
+     consumed, so a long-lived connection does not grow it forever. *)
+  if r.pos = Buffer.length r.pending then begin
+    Buffer.clear r.pending;
+    r.pos <- 0
+  end;
+  Buffer.add_subbytes r.pending bytes off len
+
+let available r = Buffer.length r.pending - r.pos
+
+let take r n =
+  let chunk = Buffer.sub r.pending r.pos n in
+  r.pos <- r.pos + n;
+  chunk
+
+let decode_len s =
+  let b k = Char.code s.[k] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let rec next r =
+  match r.mode with
+  | Header ->
+      let want = header_size - Buffer.length r.buf in
+      let got = min want (available r) in
+      Buffer.add_string r.buf (take r got);
+      if Buffer.length r.buf < header_size then `Await
+      else begin
+        let len = decode_len (Buffer.contents r.buf) in
+        Buffer.clear r.buf;
+        if len > r.max_frame || len < 0 then begin
+          r.mode <- Skip (len, len);
+          `Oversized len
+        end
+        else begin
+          r.mode <- Body len;
+          next r
+        end
+      end
+  | Body want ->
+      let missing = want - Buffer.length r.buf in
+      let got = min missing (available r) in
+      Buffer.add_string r.buf (take r got);
+      if Buffer.length r.buf < want then `Await
+      else begin
+        let payload = Buffer.contents r.buf in
+        Buffer.clear r.buf;
+        r.mode <- Header;
+        `Frame payload
+      end
+  | Skip (declared, left) ->
+      let got = min left (available r) in
+      r.pos <- r.pos + got;
+      let left = left - got in
+      if left > 0 then begin
+        r.mode <- Skip (declared, left);
+        `Await
+      end
+      else begin
+        r.mode <- Header;
+        next r
+      end
+
+(* ---- blocking helpers (client side, and the server's writes) ---- *)
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < n do
+    let k = Unix.write fd b !sent (n - !sent) in
+    if k = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    sent := !sent + k
+  done
+
+let write fd payload = write_all fd (encode payload)
+
+exception Closed
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let got = ref 0 in
+  while !got < n do
+    let k = Unix.read fd b !got (n - !got) in
+    if k = 0 then raise Closed;
+    got := !got + k
+  done;
+  b
+
+let read_frame fd =
+  let header = read_exact fd header_size in
+  let len = decode_len (Bytes.to_string header) in
+  if len < 0 then raise Closed;
+  Bytes.to_string (read_exact fd len)

@@ -1,0 +1,40 @@
+(** Length-prefixed message framing: 4-byte big-endian payload length,
+    then the payload.
+
+    The server side uses the incremental {!reader} — fed raw bytes as
+    they arrive, it reassembles frames across arbitrary read
+    boundaries (the partial-read edge case a naive
+    [read header; read body] loop gets wrong under TCP segmentation).
+    The client side uses the simple blocking {!read_frame}. *)
+
+val header_size : int
+
+val encode : string -> bytes
+(** The payload with its length prefix, ready to write. *)
+
+type reader
+
+val reader : ?max_frame:int -> unit -> reader
+(** [max_frame] (default 16 MiB) caps the declared payload size. *)
+
+val feed : reader -> bytes -> int -> int -> unit
+(** [feed r bytes off len]: append freshly read bytes. *)
+
+val next : reader -> [ `Frame of string | `Oversized of int | `Await ]
+(** Pull the next event. [`Frame payload] is a complete message;
+    [`Await] means feed more bytes.  [`Oversized len] is reported
+    {e once} per offending frame; the reader then silently drains the
+    declared payload, so the connection stays usable and the next
+    frame parses — the server answers with a [too-large] error
+    instead of dropping the client. *)
+
+(** {1 Blocking helpers} *)
+
+val write : Unix.file_descr -> string -> unit
+(** Frame and write the whole payload (loops on short writes). *)
+
+exception Closed
+(** Peer closed the connection mid-frame. *)
+
+val read_frame : Unix.file_descr -> string
+(** Blocking read of one complete frame.  @raise Closed on EOF. *)

@@ -1,0 +1,611 @@
+(* Wire protocol of the decomposition daemon: a tiny self-contained
+   JSON (no external dependency in the container), plus the typed
+   request/response vocabulary.  One request or response is one JSON
+   object inside one length-prefixed frame (Frame). *)
+
+(* ---- JSON ---- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+  | Raw of string
+      (* pre-rendered JSON emitted verbatim; never produced by [parse].
+         Used to embed Diagnostic.to_json output byte-for-byte, so a
+         served findings report is identical to the CLI's. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number_to_string x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num x -> Buffer.add_string buf (number_to_string x)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_json buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          add_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+  | Raw s -> Buffer.add_string buf s
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  add_json buf j;
+  Buffer.contents buf
+
+exception Bad of string
+
+(* Recursive-descent parser.  Depth-bounded so a hostile request of
+   100k open brackets cannot blow the server's stack. *)
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "byte %d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %C, found %C" c c')
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with Failure _ -> fail "invalid \\u escape"
+            in
+            (* Encode the code point as UTF-8 (surrogate pairs of
+               astral-plane characters come through as two escapes and
+               are stored as their surrogate bytes — adequate for this
+               protocol, whose strings are ASCII in practice). *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf
+                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | c -> fail (Printf.sprintf "invalid escape \\%c" c));
+        go ()
+      end
+      else if Char.code c < 0x20 then fail "control character in string"
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && number_char s.[!pos] do
+      advance ()
+    done;
+    let span = String.sub s start (!pos - start) in
+    match float_of_string_opt span with
+    | Some x -> Num x
+    | None -> fail (Printf.sprintf "invalid number %S" span)
+  in
+  let rec parse_value depth =
+    if depth > 64 then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec go () =
+            items := parse_value (depth + 1) :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                go ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          go ();
+          Arr (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec go () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                go ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          go ();
+          Obj (List.rev !fields)
+        end
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+(* ---- accessors ---- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_int = function Num x when Float.is_integer x -> Some (int_of_float x) | _ -> None
+let to_float = function Num x -> Some x | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+
+let mem_int k j = Option.bind (member k j) to_int
+let mem_float k j = Option.bind (member k j) to_float
+let mem_str k j = Option.bind (member k j) to_str
+let mem_bool k j = Option.bind (member k j) to_bool
+
+(* ---- requests ---- *)
+
+type source =
+  | Target of string
+  | Blif_text of string
+  | Pla_text of string
+
+type run_request = {
+  source : source;
+  lut_size : int;
+  algorithm : Mulop.algorithm;
+  effort : Budget.effort option;
+  timeout : float option;
+  node_budget : int option;
+  checks : Diagnostic.level;
+  verify : bool;
+}
+
+type op = Run of run_request | Stats | Ping | Shutdown
+
+type request = { id : int; op : op }
+
+let algorithm_of_string = function
+  | "mulopII" | "mulopii" -> Ok Mulop.Mulop_ii
+  | "mulop-dc" | "dc" -> Ok Mulop.Mulop_dc
+  | "mulop-dcII" | "mulop-dcii" | "dcii" -> Ok Mulop.Mulop_dc_ii
+  | s -> Error (Printf.sprintf "unknown algorithm %S" s)
+
+let source_to_json = function
+  | Target t -> Obj [ ("target", Str t) ]
+  | Blif_text text -> Obj [ ("format", Str "blif"); ("text", Str text) ]
+  | Pla_text text -> Obj [ ("format", Str "pla"); ("text", Str text) ]
+
+let source_of_json j =
+  match mem_str "target" j with
+  | Some t -> Ok (Target t)
+  | None -> (
+      match (mem_str "format" j, mem_str "text" j) with
+      | Some "blif", Some text -> Ok (Blif_text text)
+      | Some "pla", Some text -> Ok (Pla_text text)
+      | Some fmt, Some _ -> Error (Printf.sprintf "unknown source format %S" fmt)
+      | _ -> Error "source needs either \"target\" or \"format\"+\"text\"")
+
+let request_to_json { id; op } =
+  let base op_name fields = Obj (("id", Num (float_of_int id)) :: ("op", Str op_name) :: fields) in
+  match op with
+  | Ping -> base "ping" []
+  | Stats -> base "stats" []
+  | Shutdown -> base "shutdown" []
+  | Run r ->
+      base "run"
+        ([
+           ("source", source_to_json r.source);
+           ("lut_size", Num (float_of_int r.lut_size));
+           ("algorithm", Str (Mulop.algorithm_name r.algorithm));
+           ("checks", Str (Diagnostic.level_name r.checks));
+           ("verify", Bool r.verify);
+         ]
+        @ (match r.effort with
+          | None -> []
+          | Some e -> [ ("effort", Str (Budget.effort_name e)) ])
+        @ (match r.timeout with
+          | None -> []
+          | Some t -> [ ("timeout", Num t) ])
+        @
+        match r.node_budget with
+        | None -> []
+        | Some b -> [ ("node_budget", Num (float_of_int b)) ])
+
+let ( let* ) = Result.bind
+
+let request_of_json j =
+  match j with
+  | Obj _ ->
+      let id = Option.value ~default:0 (mem_int "id" j) in
+      let* op_name =
+        Option.to_result ~none:"missing \"op\"" (mem_str "op" j)
+      in
+      let* op =
+        match op_name with
+        | "ping" -> Ok Ping
+        | "stats" -> Ok Stats
+        | "shutdown" -> Ok Shutdown
+        | "run" ->
+            let* src_json =
+              Option.to_result ~none:"run: missing \"source\"" (member "source" j)
+            in
+            let* source = source_of_json src_json in
+            let lut_size = Option.value ~default:5 (mem_int "lut_size" j) in
+            let* () =
+              if lut_size >= 2 then Ok ()
+              else Error "run: lut_size must be >= 2"
+            in
+            let* algorithm =
+              match mem_str "algorithm" j with
+              | None -> Ok Mulop.Mulop_dc
+              | Some s -> algorithm_of_string s
+            in
+            let* effort =
+              match mem_str "effort" j with
+              | None -> Ok None
+              | Some s -> Result.map Option.some (Budget.effort_of_string s)
+            in
+            let* checks =
+              match mem_str "checks" j with
+              | None -> Ok Diagnostic.Off
+              | Some s -> Diagnostic.level_of_string s
+            in
+            let timeout = mem_float "timeout" j in
+            let* () =
+              match timeout with
+              | Some t when t <= 0.0 -> Error "run: timeout must be positive"
+              | _ -> Ok ()
+            in
+            let node_budget = mem_int "node_budget" j in
+            let* () =
+              match node_budget with
+              | Some b when b <= 0 -> Error "run: node_budget must be positive"
+              | _ -> Ok ()
+            in
+            let verify = Option.value ~default:false (mem_bool "verify" j) in
+            Ok
+              (Run
+                 {
+                   source;
+                   lut_size;
+                   algorithm;
+                   effort;
+                   timeout;
+                   node_budget;
+                   checks;
+                   verify;
+                 })
+        | s -> Error (Printf.sprintf "unknown op %S" s)
+      in
+      Ok { id; op }
+  | _ -> Error "request must be a JSON object"
+
+(* ---- responses ---- *)
+
+type error_code =
+  | Bad_request
+  | Too_large
+  | Queue_full
+  | Shutting_down
+  | Parse_error
+  | Out_of_budget
+  | Internal
+  | Failed
+
+let error_code_name = function
+  | Bad_request -> "bad-request"
+  | Too_large -> "too-large"
+  | Queue_full -> "queue-full"
+  | Shutting_down -> "shutting-down"
+  | Parse_error -> "parse-error"
+  | Out_of_budget -> "out-of-budget"
+  | Internal -> "internal"
+  | Failed -> "failed"
+
+let error_code_of_name = function
+  | "bad-request" -> Some Bad_request
+  | "too-large" -> Some Too_large
+  | "queue-full" -> Some Queue_full
+  | "shutting-down" -> Some Shutting_down
+  | "parse-error" -> Some Parse_error
+  | "out-of-budget" -> Some Out_of_budget
+  | "internal" -> Some Internal
+  | "failed" -> Some Failed
+  | _ -> None
+
+(* The serve-protocol projection of the batch failure taxonomy:
+   parse errors are the client's fault, internal invariant violations
+   are the engine's. *)
+let error_code_of_kind = function
+  | Batch.Parse_error -> Parse_error
+  | Batch.Internal -> Internal
+  | Batch.Out_of_budget -> Out_of_budget
+  | Batch.Other -> Failed
+
+(* [client_fault] drives the submit client's exit code split. *)
+let client_fault = function
+  | Bad_request | Too_large | Parse_error -> true
+  | Queue_full | Shutting_down | Out_of_budget | Internal | Failed -> false
+
+type run_result = {
+  job : string;
+  algorithm : string;
+  luts : int;
+  clbs : int;
+  depth : int;
+  steps : int;
+  shannon : int;
+  alphas : int;
+  degraded_to : string;
+  findings : string;  (* Diagnostic.to_json output, verbatim *)
+  verified : bool option;
+  blif : string;
+  cached : bool;
+  seconds : float;
+}
+
+type server_stats = {
+  jobs_served : int;
+  result_hits : int;
+  result_misses : int;
+  cache_entries : int;
+  cache_bytes : int;
+  queue_depth : int;
+  queue_capacity : int;
+  workers : int;
+  uptime_seconds : float;
+}
+
+type response =
+  | Ok_run of int * run_result
+  | Ok_stats of int * server_stats
+  | Pong of int
+  | Bye of int
+  | Err of {
+      id : int;
+      code : error_code;
+      message : string;
+      retry_after : float option;
+    }
+
+let response_to_json = function
+  | Pong id ->
+      Obj [ ("id", Num (float_of_int id)); ("status", Str "ok"); ("op", Str "ping") ]
+  | Bye id ->
+      Obj
+        [
+          ("id", Num (float_of_int id));
+          ("status", Str "ok");
+          ("op", Str "shutdown");
+        ]
+  | Ok_stats (id, s) ->
+      Obj
+        [
+          ("id", Num (float_of_int id));
+          ("status", Str "ok");
+          ("op", Str "stats");
+          ("jobs_served", Num (float_of_int s.jobs_served));
+          ("cache_hits", Num (float_of_int s.result_hits));
+          ("cache_misses", Num (float_of_int s.result_misses));
+          ("cache_entries", Num (float_of_int s.cache_entries));
+          ("cache_bytes", Num (float_of_int s.cache_bytes));
+          ("queue_depth", Num (float_of_int s.queue_depth));
+          ("queue_capacity", Num (float_of_int s.queue_capacity));
+          ("workers", Num (float_of_int s.workers));
+          ("uptime_seconds", Num s.uptime_seconds);
+        ]
+  | Ok_run (id, r) ->
+      Obj
+        ([
+           ("id", Num (float_of_int id));
+           ("status", Str "ok");
+           ("op", Str "run");
+           ("job", Str r.job);
+           ("algorithm", Str r.algorithm);
+           ("luts", Num (float_of_int r.luts));
+           ("clbs", Num (float_of_int r.clbs));
+           ("depth", Num (float_of_int r.depth));
+           ("steps", Num (float_of_int r.steps));
+           ("shannon", Num (float_of_int r.shannon));
+           ("alphas", Num (float_of_int r.alphas));
+           ("degraded_to", Str r.degraded_to);
+           ("findings", Raw r.findings);
+           ("cached", Bool r.cached);
+           ("seconds", Num r.seconds);
+           ("blif", Str r.blif);
+         ]
+        @
+        match r.verified with
+        | None -> []
+        | Some ok -> [ ("verified", Bool ok) ])
+  | Err { id; code; message; retry_after } ->
+      Obj
+        ([
+           ("id", Num (float_of_int id));
+           ("status", Str "error");
+           ("code", Str (error_code_name code));
+           ("message", Str message);
+         ]
+        @
+        match retry_after with
+        | None -> []
+        | Some t -> [ ("retry_after", Num t) ])
+
+let response_of_json j =
+  let id = Option.value ~default:0 (mem_int "id" j) in
+  match mem_str "status" j with
+  | Some "error" ->
+      let code =
+        Option.value ~default:Failed
+          (Option.bind (mem_str "code" j) error_code_of_name)
+      in
+      let message = Option.value ~default:"" (mem_str "message" j) in
+      Ok (Err { id; code; message; retry_after = mem_float "retry_after" j })
+  | Some "ok" -> (
+      match mem_str "op" j with
+      | Some "ping" -> Ok (Pong id)
+      | Some "shutdown" -> Ok (Bye id)
+      | Some "stats" ->
+          let get k = Option.value ~default:0 (mem_int k j) in
+          Ok
+            (Ok_stats
+               ( id,
+                 {
+                   jobs_served = get "jobs_served";
+                   result_hits = get "cache_hits";
+                   result_misses = get "cache_misses";
+                   cache_entries = get "cache_entries";
+                   cache_bytes = get "cache_bytes";
+                   queue_depth = get "queue_depth";
+                   queue_capacity = get "queue_capacity";
+                   workers = get "workers";
+                   uptime_seconds =
+                     Option.value ~default:0.0 (mem_float "uptime_seconds" j);
+                 } ))
+      | Some "run" ->
+          let geti k = Option.value ~default:0 (mem_int k j) in
+          let gets k = Option.value ~default:"" (mem_str k j) in
+          let findings =
+            match member "findings" j with
+            | Some v -> to_string v
+            | None -> "{}"
+          in
+          Ok
+            (Ok_run
+               ( id,
+                 {
+                   job = gets "job";
+                   algorithm = gets "algorithm";
+                   luts = geti "luts";
+                   clbs = geti "clbs";
+                   depth = geti "depth";
+                   steps = geti "steps";
+                   shannon = geti "shannon";
+                   alphas = geti "alphas";
+                   degraded_to = gets "degraded_to";
+                   findings;
+                   verified = mem_bool "verified" j;
+                   blif = gets "blif";
+                   cached =
+                     Option.value ~default:false (mem_bool "cached" j);
+                   seconds =
+                     Option.value ~default:0.0 (mem_float "seconds" j);
+                 } ))
+      | Some op -> Error (Printf.sprintf "unknown ok op %S" op)
+      | None -> Error "ok response without \"op\"")
+  | Some s -> Error (Printf.sprintf "unknown status %S" s)
+  | None -> Error "response without \"status\""

@@ -1,0 +1,142 @@
+(** Wire protocol of the decomposition daemon ([mfd serve]).
+
+    One request or response is one JSON object inside one
+    length-prefixed frame ({!Frame}).  The JSON implementation is a
+    self-contained recursive-descent parser and printer — the protocol
+    must not pull a JSON dependency into the library graph, and the
+    daemon needs full control over rejection behaviour (depth bound,
+    trailing garbage, malformed escapes) because a hostile frame must
+    produce an error response, never kill the server.
+
+    The guarantee backing every accessor in this module: a served
+    decomposition is the result the CLI would have produced for the
+    same input, byte for byte (same BLIF, same findings JSON).  The
+    protocol therefore transports the CLI's own renderings verbatim
+    ({!run_result.blif}, {!run_result.findings}) instead of
+    re-encoding them. *)
+
+(** {1 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+  | Raw of string
+      (** pre-rendered JSON emitted verbatim by {!to_string}; never
+          produced by {!parse}.  Used to embed {!Diagnostic.to_json}
+          output byte-for-byte. *)
+
+val to_string : json -> string
+
+val parse : string -> (json, string) result
+(** Strict: rejects trailing garbage, unterminated strings, invalid
+    escapes, control characters in strings, and nesting deeper than 64
+    levels (a hostile frame of open brackets cannot blow the stack). *)
+
+val member : string -> json -> json option
+
+(** {1 Requests} *)
+
+type source =
+  | Target of string
+      (** a benchmark name ({!Mcnc}/{!Extra}) or a server-side
+          [.blif]/[.pla] path *)
+  | Blif_text of string  (** BLIF carried inline in the request *)
+  | Pla_text of string  (** PLA carried inline in the request *)
+
+type run_request = {
+  source : source;
+  lut_size : int;
+  algorithm : Mulop.algorithm;
+  effort : Budget.effort option;
+  timeout : float option;
+  node_budget : int option;
+  checks : Diagnostic.level;
+  verify : bool;
+}
+
+type op = Run of run_request | Stats | Ping | Shutdown
+type request = { id : int; op : op }
+
+val request_to_json : request -> json
+
+val request_of_json : json -> (request, string) result
+(** Defaults mirror the CLI: [lut_size] 5, algorithm [mulop-dc],
+    [checks] off, [verify] false.  Rejects non-positive budgets and
+    [lut_size < 2]. *)
+
+(** {1 Responses} *)
+
+(** Stable error codes.  The first three are framing/admission
+    failures; the last four project the {!Batch.error_kind} taxonomy
+    onto the wire, so a client can tell its own malformed circuit
+    ([Parse_error]) from an engine fault ([Internal]). *)
+type error_code =
+  | Bad_request  (** malformed JSON or an invalid field *)
+  | Too_large  (** frame exceeded the server's size cap *)
+  | Queue_full  (** backpressure: retry after [retry_after] seconds *)
+  | Shutting_down
+  | Parse_error  (** the submitted circuit did not parse *)
+  | Out_of_budget
+  | Internal
+  | Failed
+
+val error_code_name : error_code -> string
+val error_code_of_name : string -> error_code option
+val error_code_of_kind : Batch.error_kind -> error_code
+
+val client_fault : error_code -> bool
+(** [true] for codes where resubmitting the same request must fail
+    again ([Bad_request], [Too_large], [Parse_error]) — drives the
+    [mfd submit] exit-code split. *)
+
+type run_result = {
+  job : string;
+  algorithm : string;
+  luts : int;
+  clbs : int;
+  depth : int;
+  steps : int;
+  shannon : int;
+  alphas : int;
+  degraded_to : string;
+  findings : string;
+      (** {!Diagnostic.to_json} output, verbatim — identical to the
+          CLI's [--check] report for the same run *)
+  verified : bool option;
+  blif : string;  (** {!Blif.print} of the produced network *)
+  cached : bool;  (** served from the cross-request result cache *)
+  seconds : float;  (** server-side monotonic job time *)
+}
+
+type server_stats = {
+  jobs_served : int;
+  result_hits : int;
+  result_misses : int;
+  cache_entries : int;
+  cache_bytes : int;
+  queue_depth : int;
+  queue_capacity : int;
+  workers : int;
+  uptime_seconds : float;
+}
+
+type response =
+  | Ok_run of int * run_result
+  | Ok_stats of int * server_stats
+  | Pong of int
+  | Bye of int
+  | Err of {
+      id : int;
+      code : error_code;
+      message : string;
+      retry_after : float option;
+          (** only on [Queue_full]: the server's estimate of when a
+              slot frees up *)
+    }
+
+val response_to_json : response -> json
+val response_of_json : json -> (response, string) result

@@ -1,0 +1,133 @@
+(* The cross-request result cache.
+
+   Keyed on what the request MEANS, not on how it was phrased or which
+   manager happened to build it: a Digest over the protocol version,
+   the run parameters that can change the outcome, and the canonical
+   Merkle fingerprint (Bdd.fingerprint) of every output's (on, dc)
+   pair.  Two clients submitting the same circuit as a benchmark name
+   and as equivalent BLIF text hit the same entry; per-run BDD node
+   ids never enter the key, so hits survive across the per-job
+   managers the shared-nothing workers use.
+
+   Byte-capped LRU (stamp-based), Mutex-protected: workers on
+   different domains probe and fill it concurrently. *)
+
+type entry = {
+  result : Proto.run_result;
+  bytes : int;
+  mutable stamp : int;  (* larger = more recently used *)
+}
+
+type t = {
+  max_bytes : int;
+  table : (string, entry) Hashtbl.t;
+  mutable total_bytes : int;
+  mutable tick : int;
+  mutex : Mutex.t;
+  stats : Stats.t;
+}
+
+let create ?(max_bytes = 64 * 1024 * 1024) ~stats () =
+  {
+    max_bytes;
+    table = Hashtbl.create 64;
+    total_bytes = 0;
+    tick = 0;
+    mutex = Mutex.create ();
+    stats;
+  }
+
+let version = "mfd-serve-1"
+
+let key m spec ~lut_size ~algorithm ~effort ~checks ~verify =
+  let buf = Buffer.create 512 in
+  let add s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '|'
+  in
+  add version;
+  add (string_of_int lut_size);
+  add (Mulop.algorithm_name algorithm);
+  add
+    (match effort with
+    | None -> "default"
+    | Some e -> Budget.effort_name e);
+  add (Diagnostic.level_name checks);
+  add (string_of_bool verify);
+  List.iter add spec.Driver.input_names;
+  Buffer.add_char buf '#';
+  List.iter
+    (fun (name, isf) ->
+      add name;
+      add (Bdd.fingerprint m (Isf.on isf));
+      add (Bdd.fingerprint m (Isf.dc isf)))
+    spec.Driver.functions;
+  Digest.string (Buffer.contents buf)
+
+(* A close-enough accounting of an entry's heap footprint: the strings
+   dominate (the BLIF body in particular); the fixed fields are a
+   small constant. *)
+let result_bytes (r : Proto.run_result) =
+  String.length r.Proto.job
+  + String.length r.Proto.algorithm
+  + String.length r.Proto.degraded_to
+  + String.length r.Proto.findings
+  + String.length r.Proto.blif + 160
+
+let find t k =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.table k with
+    | Some e ->
+        t.tick <- t.tick + 1;
+        e.stamp <- t.tick;
+        t.stats.Stats.result_hits <- t.stats.Stats.result_hits + 1;
+        Some e.result
+    | None ->
+        t.stats.Stats.result_misses <- t.stats.Stats.result_misses + 1;
+        None
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (k, _) ->
+      (match Hashtbl.find_opt t.table k with
+      | Some e -> t.total_bytes <- t.total_bytes - e.bytes
+      | None -> ());
+      Hashtbl.remove t.table k
+
+let add t k result =
+  let bytes = result_bytes result in
+  Mutex.lock t.mutex;
+  (* An entry alone bigger than the whole cap is not cacheable. *)
+  if bytes <= t.max_bytes && not (Hashtbl.mem t.table k) then begin
+    while t.total_bytes + bytes > t.max_bytes && Hashtbl.length t.table > 0 do
+      evict_lru t
+    done;
+    t.tick <- t.tick + 1;
+    Hashtbl.add t.table k { result; bytes; stamp = t.tick };
+    t.total_bytes <- t.total_bytes + bytes
+  end;
+  Mutex.unlock t.mutex
+
+let entries t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+let bytes t =
+  Mutex.lock t.mutex;
+  let n = t.total_bytes in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,47 @@
+(** The daemon's cross-request result cache.
+
+    Keyed on {e canonical function fingerprints}: the {!key} digest
+    covers the protocol version, every outcome-relevant run parameter
+    (LUT size, algorithm, effort, check level, verify), the input
+    names, and {!Bdd.fingerprint} of each output's (on, dc) BDDs.
+    Fingerprints are Merkle digests of ROBDD structure — identical
+    across managers for the same function — so a hit never depends on
+    per-run node ids, and the same circuit submitted as a benchmark
+    name or as equivalent BLIF text lands on the same entry.  (The
+    predecessor bug this design fixes: keying on [Bdd.id], which is
+    only unique {e within} one manager, silently made every
+    cross-manager lookup a miss or — worse — a false hit.)
+
+    Byte-capped stamp-LRU, thread-safe (worker domains probe and fill
+    concurrently).  Hits and misses are counted into the server's
+    {!Stats.t} ([result_hits]/[result_misses]). *)
+
+type t
+
+val create : ?max_bytes:int -> stats:Stats.t -> unit -> t
+(** [max_bytes] defaults to 64 MiB. *)
+
+val key :
+  Bdd.manager ->
+  Driver.spec ->
+  lut_size:int ->
+  algorithm:Mulop.algorithm ->
+  effort:Budget.effort option ->
+  checks:Diagnostic.level ->
+  verify:bool ->
+  string
+(** The canonical cache key of a request.  Budgets ([timeout],
+    [node_budget]) are deliberately absent: budgeted runs are
+    timing-dependent and are never cached (the server skips the cache
+    for them). *)
+
+val find : t -> string -> Proto.run_result option
+(** Bumps LRU recency and the hit counter; a miss bumps the miss
+    counter. *)
+
+val add : t -> string -> Proto.run_result -> unit
+(** Insert, evicting least-recently-used entries until under the byte
+    cap.  An entry larger than the whole cap is dropped. *)
+
+val entries : t -> int
+val bytes : t -> int

@@ -1,0 +1,459 @@
+(* The mfd decomposition daemon.
+
+   One event-loop domain owns every socket: it accepts clients,
+   reassembles frames (Frame.reader per client), parses and admits
+   requests, and writes responses.  A fixed pool of worker domains
+   drains the bounded job queue; each claimed job owns a fresh
+   Bdd.manager / Budget.t / Stats.t — the same shared-nothing run
+   shape as Decomp.Batch, and indeed the same engine (Batch.run_one on
+   the manager that built the spec), which is what makes a served
+   result a byte-identical replica of the CLI's.
+
+   Workers never touch sockets: a finished job is pushed onto the
+   [completed] queue and the worker pokes the self-pipe, which wakes
+   the event loop's select.  A client that disconnected mid-job simply
+   no longer resolves in the client table when its result arrives —
+   the result is dropped, nothing else is affected.
+
+   Backpressure is explicit: when the job queue is full, the request
+   is answered queue-full with a retry hint derived from an EMA of
+   recent job times, instead of being buffered without bound. *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+type config = {
+  listen : endpoint;
+  jobs : int;
+  queue_depth : int;
+  cache_mb : int;
+  max_frame : int;
+}
+
+let default_config listen =
+  {
+    listen;
+    jobs = 2;
+    queue_depth = 16;
+    cache_mb = 64;
+    max_frame = 16 * 1024 * 1024;
+  }
+
+(* ---- job descriptions and results in flight ---- *)
+
+type pending = { client_id : int; req_id : int; request : Proto.run_request }
+
+type state = {
+  config : config;
+  queue : pending Bqueue.t;
+  completed : (int * Proto.response) Queue.t;  (* client_id, response *)
+  completed_mutex : Mutex.t;
+  cache : Rcache.t;
+  stats : Stats.t;  (* result_hits / result_misses live here *)
+  jobs_served : int Atomic.t;
+  outstanding : int Atomic.t;  (* admitted, response not yet delivered *)
+  ema_mutex : Mutex.t;
+  mutable ema_seconds : float;  (* recent job time, for retry_after *)
+  pipe_w : Unix.file_descr;  (* worker → event-loop wakeup *)
+  started : float;  (* Mono.now at startup *)
+  mutable shutting_down : bool;
+}
+
+let poke st =
+  try ignore (Unix.write st.pipe_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let push_completed st client_id resp =
+  Mutex.lock st.completed_mutex;
+  Queue.add (client_id, resp) st.completed;
+  Mutex.unlock st.completed_mutex;
+  poke st
+
+let drain_completed st =
+  Mutex.lock st.completed_mutex;
+  let out = Queue.fold (fun acc x -> x :: acc) [] st.completed in
+  Queue.clear st.completed;
+  Mutex.unlock st.completed_mutex;
+  List.rev out
+
+let note_job_time st secs =
+  Mutex.lock st.ema_mutex;
+  st.ema_seconds <- (0.7 *. st.ema_seconds) +. (0.3 *. secs);
+  Mutex.unlock st.ema_mutex
+
+let retry_after st =
+  Mutex.lock st.ema_mutex;
+  let per_job = st.ema_seconds in
+  Mutex.unlock st.ema_mutex;
+  let backlog = float_of_int (Bqueue.length st.queue) in
+  let lanes = float_of_int (max 1 st.config.jobs) in
+  Float.max 0.05 (Float.min 10.0 (per_job *. (backlog +. 1.0) /. lanes))
+
+(* ---- turning a request source into a specification ---- *)
+
+let reject kind fmt = Printf.ksprintf (fun msg -> raise (Batch.Job_rejected (kind, msg))) fmt
+
+let spec_of_source m = function
+  | Proto.Blif_text text -> (
+      match Blif.parse text with
+      | net -> (Randnet.spec_of_network m net, "blif")
+      | exception Blif.Parse_error (line, msg) ->
+          reject Batch.Parse_error "blif:%d: %s" line msg)
+  | Proto.Pla_text text -> (
+      match Pla.parse text with
+      | pla ->
+          let isfs = Pla.to_isfs m ~var_of_column:(fun k -> k) pla in
+          ({ Driver.input_names = pla.Pla.input_names; functions = isfs }, "pla")
+      | exception Pla.Parse_error (line, msg) ->
+          reject Batch.Parse_error "pla:%d: %s" line msg)
+  | Proto.Target t -> (
+      (* Mirrors the CLI's load_spec resolution order exactly. *)
+      try
+        if Filename.check_suffix t ".blif" then
+          (Randnet.spec_of_network m (Blif.parse_file t), Filename.basename t)
+        else if Filename.check_suffix t ".pla" then begin
+          let pla = Pla.parse_file t in
+          let isfs = Pla.to_isfs m ~var_of_column:(fun k -> k) pla in
+          ( { Driver.input_names = pla.Pla.input_names; functions = isfs },
+            Filename.basename t )
+        end
+        else
+          match Mcnc.find t with
+          | entry -> (entry.Mcnc.build m, entry.Mcnc.name)
+          | exception Not_found -> (
+              match List.assoc_opt t Extra.catalogue with
+              | Some build -> (build m, t)
+              | None -> reject Batch.Parse_error "unknown benchmark %S" t)
+      with
+      | Blif.Parse_error (line, msg) ->
+          reject Batch.Parse_error "%s:%d: %s" t line msg
+      | Pla.Parse_error (line, msg) ->
+          reject Batch.Parse_error "%s:%d: %s" t line msg
+      | Sys_error msg -> reject Batch.Parse_error "%s" msg)
+
+(* ---- the worker side ---- *)
+
+let run_result_of_summary ~job ~seconds (s : Batch.summary) =
+  {
+    Proto.job;
+    algorithm = Mulop.algorithm_name s.Batch.algorithm;
+    luts = s.Batch.lut_count;
+    clbs = s.Batch.clb_count;
+    depth = s.Batch.depth;
+    steps = s.Batch.step_count;
+    shannon = s.Batch.shannon_count;
+    alphas = s.Batch.alpha_count;
+    degraded_to = Budget.stage_name s.Batch.degraded_to;
+    findings = Diagnostic.to_json s.Batch.findings;
+    verified = s.Batch.verified;
+    blif = Blif.print ~model:job s.Batch.network;
+    cached = false;
+    seconds;
+  }
+
+let process st (p : pending) =
+  let r = p.request in
+  let t0 = Mono.now () in
+  let err code message =
+    Proto.Err { id = p.req_id; code; message; retry_after = None }
+  in
+  let response =
+    try
+      let m = Bdd.manager () in
+      let spec, job = spec_of_source m r.Proto.source in
+      (* Budgeted runs degrade with the clock: their outcome is not a
+         pure function of the request, so they bypass the cache. *)
+      let cacheable = r.Proto.timeout = None && r.Proto.node_budget = None in
+      let key =
+        if cacheable then
+          Some
+            (Rcache.key m spec ~lut_size:r.Proto.lut_size
+               ~algorithm:r.Proto.algorithm ~effort:r.Proto.effort
+               ~checks:r.Proto.checks ~verify:r.Proto.verify)
+        else None
+      in
+      match Option.bind key (Rcache.find st.cache) with
+      | Some hit ->
+          Proto.Ok_run
+            ( p.req_id,
+              { hit with Proto.cached = true; seconds = Mono.now () -. t0 } )
+      | None -> (
+          let stats = Stats.create () in
+          match
+            Batch.run_one ~lut_size:r.Proto.lut_size ?timeout:r.Proto.timeout
+              ?node_budget:r.Proto.node_budget ?effort:r.Proto.effort
+              ~checks:r.Proto.checks ~verify:r.Proto.verify ~stats
+              r.Proto.algorithm m spec
+          with
+          | Ok summary ->
+              let seconds = Mono.now () -. t0 in
+              let result = run_result_of_summary ~job ~seconds summary in
+              Option.iter (fun k -> Rcache.add st.cache k result) key;
+              note_job_time st seconds;
+              Proto.Ok_run (p.req_id, result)
+          | Error e ->
+              err (Proto.error_code_of_kind e.Batch.kind) e.Batch.message)
+    with e ->
+      let e = Batch.classify e in
+      err (Proto.error_code_of_kind e.Batch.kind) e.Batch.message
+  in
+  Atomic.incr st.jobs_served;
+  response
+
+let worker st () =
+  let rec loop () =
+    match Bqueue.pop st.queue with
+    | None -> ()
+    | Some p ->
+        let resp = process st p in
+        push_completed st p.client_id resp;
+        loop ()
+  in
+  loop ()
+
+(* ---- the event-loop side ---- *)
+
+type client = {
+  id : int;
+  fd : Unix.file_descr;
+  freader : Frame.reader;
+  mutable alive : bool;
+}
+
+let server_stats st =
+  {
+    Proto.jobs_served = Atomic.get st.jobs_served;
+    result_hits = st.stats.Stats.result_hits;
+    result_misses = st.stats.Stats.result_misses;
+    cache_entries = Rcache.entries st.cache;
+    cache_bytes = Rcache.bytes st.cache;
+    queue_depth = Bqueue.length st.queue;
+    queue_capacity = Bqueue.capacity st.queue;
+    workers = st.config.jobs;
+    uptime_seconds = Mono.now () -. st.started;
+  }
+
+let send st client resp =
+  if client.alive then
+    try Frame.write client.fd (Proto.to_string (Proto.response_to_json resp))
+    with Unix.Unix_error _ ->
+      (* The write path discovering the disconnect: mark dead, the
+         loop reaps the fd on the next pass. *)
+      client.alive <- false;
+      ignore st
+
+let request_id json =
+  match Proto.member "id" json with
+  | Some (Proto.Num x) when Float.is_integer x -> int_of_float x
+  | _ -> 0
+
+let handle_frame st client payload =
+  match Proto.parse payload with
+  | Error msg ->
+      send st client
+        (Proto.Err
+           { id = 0; code = Proto.Bad_request; message = msg; retry_after = None })
+  | Ok json -> (
+      match Proto.request_of_json json with
+      | Error msg ->
+          send st client
+            (Proto.Err
+               {
+                 id = request_id json;
+                 code = Proto.Bad_request;
+                 message = msg;
+                 retry_after = None;
+               })
+      | Ok { Proto.id; op } -> (
+          match op with
+          | Proto.Ping -> send st client (Proto.Pong id)
+          | Proto.Stats -> send st client (Proto.Ok_stats (id, server_stats st))
+          | Proto.Shutdown ->
+              send st client (Proto.Bye id);
+              if not st.shutting_down then begin
+                st.shutting_down <- true;
+                (* Queued jobs still drain; workers exit after. *)
+                Bqueue.close st.queue
+              end
+          | Proto.Run request ->
+              if st.shutting_down then
+                send st client
+                  (Proto.Err
+                     {
+                       id;
+                       code = Proto.Shutting_down;
+                       message = "server is shutting down";
+                       retry_after = None;
+                     })
+              else if
+                Bqueue.try_push st.queue
+                  { client_id = client.id; req_id = id; request }
+              then Atomic.incr st.outstanding
+              else
+                send st client
+                  (Proto.Err
+                     {
+                       id;
+                       code = Proto.Queue_full;
+                       message =
+                         Printf.sprintf "job queue full (%d queued)"
+                           (Bqueue.length st.queue);
+                       retry_after = Some (retry_after st);
+                     })))
+
+let listen_socket = function
+  | Unix_socket path ->
+      (* A previous unclean shutdown leaves the socket file behind;
+         binding over it needs the unlink. *)
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      fd
+
+let run ?(on_ready = fun () -> ()) config =
+  (* A client that vanished between select and write must not kill the
+     daemon with SIGPIPE; the write error is handled per client. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  let stats = Stats.create () in
+  let st =
+    {
+      config;
+      queue = Bqueue.create ~capacity:config.queue_depth;
+      completed = Queue.create ();
+      completed_mutex = Mutex.create ();
+      cache =
+        Rcache.create ~max_bytes:(config.cache_mb * 1024 * 1024) ~stats ();
+      stats;
+      jobs_served = Atomic.make 0;
+      outstanding = Atomic.make 0;
+      ema_mutex = Mutex.create ();
+      ema_seconds = 0.2;
+      pipe_w;
+      started = Mono.now ();
+      shutting_down = false;
+    }
+  in
+  let listen_fd = listen_socket config.listen in
+  let workers = List.init config.jobs (fun _ -> Domain.spawn (worker st)) in
+  let clients : (int, client) Hashtbl.t = Hashtbl.create 16 in
+  let next_client = ref 0 in
+  let read_buf = Bytes.create 65536 in
+  let drop client =
+    client.alive <- false;
+    Hashtbl.remove clients client.id;
+    try Unix.close client.fd with Unix.Unix_error _ -> ()
+  in
+  let accept_client () =
+    match Unix.accept ~cloexec:true listen_fd with
+    | fd, _ ->
+        incr next_client;
+        let c =
+          {
+            id = !next_client;
+            fd;
+            freader = Frame.reader ~max_frame:config.max_frame ();
+            alive = true;
+          }
+        in
+        Hashtbl.replace clients c.id c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+  in
+  let service_client client =
+    match Unix.read client.fd read_buf 0 (Bytes.length read_buf) with
+    | 0 -> drop client
+    | n ->
+        Frame.feed client.freader read_buf 0 n;
+        let rec pump () =
+          if client.alive then
+            match Frame.next client.freader with
+            | `Await -> ()
+            | `Oversized len ->
+                send st client
+                  (Proto.Err
+                     {
+                       id = 0;
+                       code = Proto.Too_large;
+                       message =
+                         Printf.sprintf "frame of %d bytes exceeds limit %d" len
+                           config.max_frame;
+                       retry_after = None;
+                     });
+                pump ()
+            | `Frame payload ->
+                handle_frame st client payload;
+                pump ()
+        in
+        pump ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error (_, _, _) -> drop client
+  in
+  let deliver_completed () =
+    List.iter
+      (fun (client_id, resp) ->
+        Atomic.decr st.outstanding;
+        (* The client may be long gone — mid-job disconnects drop the
+           orphaned result here, isolated from everyone else. *)
+        match Hashtbl.find_opt clients client_id with
+        | Some client ->
+            send st client resp;
+            if not client.alive then drop client
+        | None -> ())
+      (drain_completed st)
+  in
+  on_ready ();
+  let rec loop () =
+    let fds =
+      (if st.shutting_down then [] else [ listen_fd ])
+      @ (pipe_r :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) clients [])
+    in
+    let readable, _, _ =
+      try Unix.select fds [] [] 0.5
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem pipe_r readable then
+      (try ignore (Unix.read pipe_r read_buf 0 (Bytes.length read_buf))
+       with Unix.Unix_error _ -> ());
+    if (not st.shutting_down) && List.mem listen_fd readable then
+      accept_client ();
+    List.iter
+      (fun fd ->
+        if fd <> listen_fd && fd <> pipe_r then
+          match
+            Hashtbl.fold
+              (fun _ c acc -> if c.fd = fd then Some c else acc)
+              clients None
+          with
+          | Some client -> service_client client
+          | None -> ())
+      readable;
+    deliver_completed ();
+    if st.shutting_down && Atomic.get st.outstanding = 0 then ()
+    else loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Bqueue.close st.queue;
+      List.iter Domain.join workers;
+      Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) clients;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+      (try Unix.close pipe_w with Unix.Unix_error _ -> ());
+      match config.listen with
+      | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ())
+    loop

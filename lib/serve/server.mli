@@ -1,0 +1,40 @@
+(** The [mfd serve] daemon.
+
+    One event-loop domain owns all sockets (accept, frame reassembly,
+    request admission, response writes); [jobs] worker domains drain a
+    bounded queue of decomposition jobs.  Each job owns a fresh
+    {!Bdd.manager}/{!Budget.t}/{!Stats.t} and runs through
+    {!Batch.run_one} on the manager that built its specification — the
+    exact code path of a CLI [mfd run], which is what makes a served
+    result byte-identical to the CLI's for the same request.
+
+    Results of unbudgeted runs are kept in a cross-request
+    {!Rcache} keyed on canonical function fingerprints; repeat
+    submissions of the same function are answered from the cache
+    ([cached:true] in the response) with hit/miss counters reported by
+    the [stats] op.
+
+    Failure containment: a malformed or oversized frame is answered
+    with an error on the offending connection only; a client
+    disconnecting mid-job orphans its result, which is dropped when it
+    completes.  Neither kills the server. *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+type config = {
+  listen : endpoint;
+  jobs : int;  (** worker domains *)
+  queue_depth : int;  (** bounded queue capacity — backpressure knob *)
+  cache_mb : int;  (** result-cache byte cap, in MiB *)
+  max_frame : int;  (** largest accepted request frame, in bytes *)
+}
+
+val default_config : endpoint -> config
+(** jobs 2, queue depth 16, cache 64 MiB, max frame 16 MiB. *)
+
+val run : ?on_ready:(unit -> unit) -> config -> unit
+(** Bind, listen, serve.  Blocks until a [shutdown] request arrives,
+    then drains queued jobs, delivers their responses, joins the
+    workers, closes every socket and removes the Unix socket file.
+    [on_ready] fires once the listener is bound (used by tests and by
+    the CLI to print the endpoint). *)

@@ -43,7 +43,7 @@ let fingerprint report =
               s.Batch.shannon_count,
               List.length s.Batch.findings,
               s.Batch.verified )
-      | Error msg -> Error (r.Batch.job, msg))
+      | Error e -> Error (r.Batch.job, e.Batch.kind, e.Batch.message))
     report.Batch.results
 
 let batch_tests =
@@ -59,7 +59,7 @@ let batch_tests =
             check_bool "submission order kept" true (jb.Batch.name = r.Batch.job);
             match r.Batch.outcome with
             | Ok s -> check_bool "verified" true (s.Batch.verified = Some true)
-            | Error msg -> Alcotest.fail (r.Batch.job ^ ": " ^ msg))
+            | Error e -> Alcotest.fail (r.Batch.job ^ ": " ^ e.Batch.message))
           jobs report.Batch.results;
         check_bool "no failures" true (Batch.failures report = []);
         check_bool "per-job stats populated" true
@@ -73,7 +73,7 @@ let batch_tests =
         let jobs = [ random_job ~nvars:5 1; boom; random_job ~nvars:5 2 ] in
         let report = Batch.run ~jobs:3 jobs in
         (match fingerprint report with
-        | [ Ok _; Error ("boom", msg); Ok _ ] ->
+        | [ Ok _; Error ("boom", Batch.Other, msg); Ok _ ] ->
             check_bool "failure message survives" true
               (contains msg "no such benchmark")
         | _ -> Alcotest.fail "expected ok/failed/ok rows in order");
@@ -85,6 +85,81 @@ let batch_tests =
         let report = Batch.run ~jobs:8 jobs in
         check_int "domains clamped to job count" 1 report.Batch.domains;
         check_bool "job succeeded" true (Batch.failures report = []));
+    Alcotest.test_case "error taxonomy: one kind per failure category" `Quick
+      (fun () ->
+        (* Each category of job failure must keep its structured kind in
+           the report — the old string flattening made them
+           indistinguishable (the serve protocol maps kinds to
+           client-error vs engine-fault codes). *)
+        let reject kind msg =
+          Batch.job ~name:(Batch.error_kind_name kind) (fun _ ->
+              raise (Batch.Job_rejected (kind, msg)))
+        in
+        let internal =
+          Batch.job ~name:"internal" (fun _ ->
+              raise (Driver.Internal (Driver.Iteration_limit 7)))
+        in
+        let oob =
+          Batch.job ~name:"oob" (fun _ ->
+              raise
+                (Budget.Out_of_budget
+                   { reason = Budget.Deadline; where = "spec build" }))
+        in
+        let plain = Batch.job ~name:"plain" (fun _ -> failwith "boom") in
+        let report =
+          Batch.run
+            [ reject Batch.Parse_error "x.blif:3: bad cube"; internal; oob; plain ]
+        in
+        (match fingerprint report with
+        | [
+         Error (_, Batch.Parse_error, pmsg);
+         Error (_, Batch.Internal, imsg);
+         Error (_, Batch.Out_of_budget, omsg);
+         Error (_, Batch.Other, bmsg);
+        ] ->
+            check_bool "parse message" true (contains pmsg "x.blif:3");
+            check_bool "internal message" true (contains imsg "iteration");
+            check_bool "budget message" true (contains omsg "deadline");
+            check_bool "other message" true (contains bmsg "boom")
+        | _ -> Alcotest.fail "expected four structured failure rows");
+        let json = Batch.to_json report in
+        List.iter
+          (fun kind ->
+            check_bool
+              ("json carries " ^ kind)
+              true
+              (contains json (Printf.sprintf "\"error_kind\":%S" kind)))
+          [ "parse-error"; "internal"; "out-of-budget"; "other" ];
+        let text = Format.asprintf "%a" (Batch.pp_text ~stats:false) report in
+        check_bool "text tags the kind" true (contains text "FAILED[parse-error]"));
+    Alcotest.test_case "classify maps every exception category" `Quick
+      (fun () ->
+        let kind_of e = (Batch.classify e).Batch.kind in
+        check_bool "job_rejected keeps its kind" true
+          (kind_of (Batch.Job_rejected (Batch.Parse_error, "m")) = Batch.Parse_error);
+        check_bool "driver internal" true
+          (kind_of (Driver.Internal Driver.Worklist_deadlock) = Batch.Internal);
+        check_bool "out of budget" true
+          (kind_of (Budget.Out_of_budget { reason = Budget.Nodes; where = "w" })
+          = Batch.Out_of_budget);
+        check_bool "failure is other" true
+          (kind_of (Failure "f") = Batch.Other);
+        check_bool "arbitrary exception is other" true
+          (kind_of Exit = Batch.Other));
+    Alcotest.test_case "job timing is monotonic and non-negative" `Quick
+      (fun () ->
+        let report = Batch.run [ random_job ~nvars:5 11 ] in
+        check_bool "wall >= 0" true (report.Batch.wall >= 0.0);
+        List.iter
+          (fun r -> check_bool "seconds >= 0" true (r.Batch.seconds >= 0.0))
+          report.Batch.results;
+        (* Mono.now never goes backwards across repeated samples. *)
+        let last = ref (Mono.now ()) in
+        for _ = 1 to 10_000 do
+          let t = Mono.now () in
+          check_bool "monotone" true (t >= !last);
+          last := t
+        done);
     Alcotest.test_case "report renderers are well-formed" `Quick (fun () ->
         let jobs =
           [ random_job ~nvars:5 4;

@@ -350,6 +350,40 @@ let score_cache_props =
                 fresh = c1 && fresh = c2)
               [ 2; 5 ])
           [ mask1; mask2; mask1 lor mask2 ]);
+    (* The cross-manager property behind the serve daemon's cache: the
+       score key is built from canonical function fingerprints, not
+       node ids, so a score computed under one manager must be found —
+       and must still be right — when the same functions are rebuilt
+       on a completely different manager.  (Keying on node ids, as the
+       cache once did, makes this either a spurious miss or a wrong
+       hit.) *)
+    QCheck2.Test.make ~name:"score cache hits across distinct managers"
+      ~count:100
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 3) (list_size (return 64) (int_range 0 2)))
+          (int_range 1 62))
+      (fun (cellss, mask) ->
+        let bound = bound_of_mask mask in
+        let build m =
+          List.map
+            (fun cells ->
+              let arr = Array.of_list cells in
+              let on = Bv.of_fun 6 (fun i -> arr.(i) = 1) in
+              let dc = Bv.of_fun 6 (fun i -> arr.(i) = 2) in
+              Isf.make m ~on:(Bv.to_bdd m on) ~dc:(Bv.to_bdd m dc))
+            cellss
+        in
+        let stats = Stats.create () in
+        let cache = Score_cache.create ~stats () in
+        let m1 = Bdd.manager () in
+        let s1 = Bound_select.score ~cache ~lut_size:5 m1 (build m1) bound in
+        let hits_before = stats.Stats.score_hits in
+        let m2 = Bdd.manager () in
+        let isfs2 = build m2 in
+        let fresh2 = Bound_select.score ~lut_size:5 m2 isfs2 bound in
+        let s2 = Bound_select.score ~cache ~lut_size:5 m2 isfs2 bound in
+        s1 = s2 && fresh2 = s2 && stats.Stats.score_hits > hits_before);
     QCheck2.Test.make ~name:"extend_cofactor_vector = cofactor_vector"
       ~count:200
       QCheck2.Gen.(pair (gen_isf 6) (pair (int_range 1 63) (int_range 0 5)))

@@ -17,4 +17,5 @@ let () =
       ("batch", Test_batch.suite);
       ("check", Test_check.suite);
       ("semantics", Test_semantics.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,651 @@
+(* The serve subsystem: protocol codec strictness, frame reassembly
+   across arbitrary read boundaries, queue backpressure, result-cache
+   keying and eviction, and end-to-end daemon behaviour on a Unix
+   socket — above all the determinism guarantee: a served result is
+   byte-identical to what the CLI code path produces for the same
+   request. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec at i =
+    i + n <= String.length s && (String.sub s i n = sub || at (i + 1))
+  in
+  at 0
+
+(* ---- protocol ---- *)
+
+let roundtrip_request req =
+  match Proto.parse (Proto.to_string (Proto.request_to_json req)) with
+  | Error msg -> Alcotest.fail ("request did not reparse: " ^ msg)
+  | Ok json -> (
+      match Proto.request_of_json json with
+      | Ok req' -> req'
+      | Error msg -> Alcotest.fail ("request did not decode: " ^ msg))
+
+let roundtrip_response resp =
+  match Proto.parse (Proto.to_string (Proto.response_to_json resp)) with
+  | Error msg -> Alcotest.fail ("response did not reparse: " ^ msg)
+  | Ok json -> (
+      match Proto.response_of_json json with
+      | Ok resp' -> resp'
+      | Error msg -> Alcotest.fail ("response did not decode: " ^ msg))
+
+let proto_tests =
+  [
+    Alcotest.test_case "requests round-trip through JSON" `Quick (fun () ->
+        let full =
+          {
+            Proto.id = 42;
+            op =
+              Proto.Run
+                {
+                  Proto.source = Proto.Blif_text ".model t\n.end\n";
+                  lut_size = 4;
+                  algorithm = Mulop.Mulop_dc_ii;
+                  effort = Some Budget.Thorough;
+                  timeout = Some 1.5;
+                  node_budget = Some 100000;
+                  checks = Diagnostic.Full;
+                  verify = true;
+                };
+          }
+        in
+        check_bool "full run request" true (roundtrip_request full = full);
+        List.iter
+          (fun op ->
+            let req = { Proto.id = 7; op } in
+            check_bool "control op" true (roundtrip_request req = req))
+          [ Proto.Ping; Proto.Stats; Proto.Shutdown ];
+        let tgt =
+          {
+            Proto.id = 1;
+            op =
+              Proto.Run
+                {
+                  Proto.source = Proto.Target "rd53";
+                  lut_size = 5;
+                  algorithm = Mulop.Mulop_dc;
+                  effort = None;
+                  timeout = None;
+                  node_budget = None;
+                  checks = Diagnostic.Off;
+                  verify = false;
+                };
+          }
+        in
+        check_bool "target request" true (roundtrip_request tgt = tgt));
+    Alcotest.test_case "responses round-trip through JSON" `Quick (fun () ->
+        let run =
+          Proto.Ok_run
+            ( 3,
+              {
+                Proto.job = "rd53";
+                algorithm = "mulop-dc";
+                luts = 3;
+                clbs = 3;
+                depth = 1;
+                steps = 0;
+                shannon = 0;
+                alphas = 2;
+                degraded_to = "full";
+                findings = "{}";
+                verified = Some true;
+                blif = ".model rd53\n.end\n";
+                cached = true;
+                seconds = 0.25;
+              } )
+        in
+        check_bool "run response" true (roundtrip_response run = run);
+        let err =
+          Proto.Err
+            {
+              id = 9;
+              code = Proto.Queue_full;
+              message = "job queue full (4 queued)";
+              retry_after = Some 0.5;
+            }
+        in
+        check_bool "error response" true (roundtrip_response err = err);
+        check_bool "pong" true (roundtrip_response (Proto.Pong 1) = Proto.Pong 1));
+    Alcotest.test_case "JSON parser is strict" `Quick (fun () ->
+        let rejected s =
+          match Proto.parse s with Error _ -> true | Ok _ -> false
+        in
+        List.iter
+          (fun s -> check_bool (Printf.sprintf "rejects %S" s) true (rejected s))
+          [
+            "";
+            "{";
+            "[1,2";
+            "\"abc";
+            "123abc";
+            "{\"a\":1,}";
+            "tru";
+            "{\"a\" 1}";
+            "\"bad \\q escape\"";
+            "\"ctrl \000 char\"";
+            "1 2";
+            String.concat "" (List.init 70 (fun _ -> "[")) ^ "1";
+          ];
+        check_bool "deep nesting rejected" true
+          (rejected
+             (String.concat "" (List.init 70 (fun _ -> "["))
+             ^ "1"
+             ^ String.concat "" (List.init 70 (fun _ -> "]"))));
+        (match Proto.parse "{\"s\": \"a\\u0041\\n\\\"b\"}" with
+        | Ok json -> (
+            match Proto.member "s" json with
+            | Some (Proto.Str s) -> check_string "escapes decode" "aA\n\"b" s
+            | _ -> Alcotest.fail "missing member")
+        | Error msg -> Alcotest.fail msg);
+        match Proto.parse "[3.5e2, -0, true, null]" with
+        | Ok (Proto.Arr [ Proto.Num x; Proto.Num z; Proto.Bool true; Proto.Null ])
+          ->
+            check_bool "numbers" true (x = 350.0 && z = 0.0)
+        | _ -> Alcotest.fail "array did not parse");
+    Alcotest.test_case "error codes map the batch taxonomy" `Quick (fun () ->
+        check_string "parse" "parse-error"
+          (Proto.error_code_name (Proto.error_code_of_kind Batch.Parse_error));
+        check_string "internal" "internal"
+          (Proto.error_code_name (Proto.error_code_of_kind Batch.Internal));
+        check_string "budget" "out-of-budget"
+          (Proto.error_code_name (Proto.error_code_of_kind Batch.Out_of_budget));
+        check_string "other" "failed"
+          (Proto.error_code_name (Proto.error_code_of_kind Batch.Other));
+        check_bool "parse errors are the client's fault" true
+          (Proto.client_fault Proto.Parse_error);
+        check_bool "queue-full is retryable, not a client fault" true
+          (not (Proto.client_fault Proto.Queue_full));
+        List.iter
+          (fun c ->
+            check_bool "names round-trip" true
+              (Proto.error_code_of_name (Proto.error_code_name c) = Some c))
+          [
+            Proto.Bad_request;
+            Proto.Too_large;
+            Proto.Queue_full;
+            Proto.Shutting_down;
+            Proto.Parse_error;
+            Proto.Out_of_budget;
+            Proto.Internal;
+            Proto.Failed;
+          ]);
+  ]
+
+(* ---- framing ---- *)
+
+let drain reader =
+  let rec go acc =
+    match Frame.next reader with
+    | `Frame p -> go (`Frame p :: acc)
+    | `Oversized n -> go (`Oversized n :: acc)
+    | `Await -> List.rev acc
+  in
+  go []
+
+let frame_tests =
+  [
+    Alcotest.test_case "frames reassemble byte by byte" `Quick (fun () ->
+        let messages = [ "hello"; ""; String.make 1000 'x'; "{\"op\":\"ping\"}" ] in
+        let wire =
+          String.concat ""
+            (List.map (fun m -> Bytes.to_string (Frame.encode m)) messages)
+        in
+        let r = Frame.reader () in
+        let got = ref [] in
+        String.iter
+          (fun c ->
+            Frame.feed r (Bytes.make 1 c) 0 1;
+            List.iter
+              (function
+                | `Frame p -> got := p :: !got
+                | `Oversized _ -> Alcotest.fail "unexpected oversize")
+              (drain r))
+          wire;
+        check_bool "all frames recovered in order" true
+          (List.rev !got = messages));
+    Alcotest.test_case "frames reassemble from one big feed" `Quick (fun () ->
+        let messages = [ "a"; "bb"; "ccc" ] in
+        let wire =
+          String.concat ""
+            (List.map (fun m -> Bytes.to_string (Frame.encode m)) messages)
+        in
+        let r = Frame.reader () in
+        Frame.feed r (Bytes.of_string wire) 0 (String.length wire);
+        let frames =
+          List.filter_map (function `Frame p -> Some p | _ -> None) (drain r)
+        in
+        check_bool "three frames" true (frames = messages));
+    Alcotest.test_case "oversized frame is reported once, then drained" `Quick
+      (fun () ->
+        let r = Frame.reader ~max_frame:8 () in
+        let big = Bytes.to_string (Frame.encode (String.make 20 'z')) in
+        let ok = Bytes.to_string (Frame.encode "ok") in
+        let wire = big ^ ok in
+        let events = ref [] in
+        String.iter
+          (fun c ->
+            Frame.feed r (Bytes.make 1 c) 0 1;
+            events := !events @ drain r)
+          wire;
+        match !events with
+        | [ `Oversized 20; `Frame "ok" ] -> ()
+        | _ -> Alcotest.fail "expected exactly [Oversized 20; Frame ok]");
+  ]
+
+(* ---- bounded queue ---- *)
+
+let bqueue_tests =
+  [
+    Alcotest.test_case "try_push refuses when full; close drains" `Quick
+      (fun () ->
+        let q = Bqueue.create ~capacity:2 in
+        check_bool "push a" true (Bqueue.try_push q "a");
+        check_bool "push b" true (Bqueue.try_push q "b");
+        check_bool "full refuses" false (Bqueue.try_push q "c");
+        check_int "length" 2 (Bqueue.length q);
+        check_bool "pop a" true (Bqueue.pop q = Some "a");
+        check_bool "slot freed" true (Bqueue.try_push q "c");
+        Bqueue.close q;
+        check_bool "closed refuses" false (Bqueue.try_push q "d");
+        check_bool "queued items survive close" true
+          (Bqueue.pop q = Some "b" && Bqueue.pop q = Some "c");
+        check_bool "drained close yields None" true (Bqueue.pop q = None));
+    Alcotest.test_case "pop blocks until an item arrives" `Quick (fun () ->
+        let q = Bqueue.create ~capacity:1 in
+        let consumer = Domain.spawn (fun () -> Bqueue.pop q) in
+        Unix.sleepf 0.02;
+        check_bool "push wakes the popper" true (Bqueue.try_push q 7);
+        check_bool "popper got it" true (Domain.join consumer = Some 7));
+  ]
+
+(* ---- result cache ---- *)
+
+let mk_result key_tag blif_len =
+  {
+    Proto.job = key_tag;
+    algorithm = "a";
+    luts = 1;
+    clbs = 1;
+    depth = 1;
+    steps = 0;
+    shannon = 0;
+    alphas = 0;
+    degraded_to = "full";
+    findings = "{}";
+    verified = None;
+    blif = String.make blif_len 'x';
+    cached = false;
+    seconds = 0.0;
+  }
+
+(* The same two-output function over 6 inputs, rebuilt on any manager
+   from an explicit truth-table recipe — so two managers hold equal
+   functions with unrelated node ids. *)
+let spec_on m =
+  let cells k i = (i * 37 + k * 11) mod 3 in
+  let isf k =
+    let on = Bv.of_fun 6 (fun i -> cells k i = 1) in
+    let dc = Bv.of_fun 6 (fun i -> cells k i = 2) in
+    Isf.make m ~on:(Bv.to_bdd m on) ~dc:(Bv.to_bdd m dc)
+  in
+  {
+    Driver.input_names = List.init 6 (Printf.sprintf "x%d");
+    functions = [ ("f", isf 0); ("g", isf 1) ];
+  }
+
+let rcache_tests =
+  [
+    Alcotest.test_case "keys are manager-independent and parameter-aware"
+      `Quick (fun () ->
+        let key m spec ?(lut_size = 5) ?(algorithm = Mulop.Mulop_dc) ?effort
+            ?(checks = Diagnostic.Off) ?(verify = false) () =
+          Rcache.key m spec ~lut_size ~algorithm ~effort ~checks ~verify
+        in
+        let m1 = Bdd.manager () and m2 = Bdd.manager () in
+        let s1 = spec_on m1 and s2 = spec_on m2 in
+        check_string "same function, two managers, one key" (key m1 s1 ())
+          (key m2 s2 ());
+        check_bool "lut size changes the key" true
+          (key m1 s1 () <> key m1 s1 ~lut_size:4 ());
+        check_bool "algorithm changes the key" true
+          (key m1 s1 () <> key m1 s1 ~algorithm:Mulop.Mulop_ii ());
+        check_bool "effort changes the key" true
+          (key m1 s1 () <> key m1 s1 ~effort:Budget.Quick ());
+        check_bool "checks change the key" true
+          (key m1 s1 () <> key m1 s1 ~checks:Diagnostic.Full ());
+        check_bool "verify changes the key" true
+          (key m1 s1 () <> key m1 s1 ~verify:true ()));
+    Alcotest.test_case "LRU eviction under the byte cap, counted hits" `Quick
+      (fun () ->
+        let stats = Stats.create () in
+        (* each entry: 2+1+4+2+100+160 = 269 bytes; cap fits three *)
+        let cache = Rcache.create ~max_bytes:810 ~stats () in
+        let k n = Printf.sprintf "k%d" n in
+        List.iter (fun n -> Rcache.add cache (k n) (mk_result (k n) 100)) [ 1; 2; 3 ];
+        check_int "three entries" 3 (Rcache.entries cache);
+        check_bool "k1 hits (and becomes most recent)" true
+          (Rcache.find cache (k 1) <> None);
+        Rcache.add cache (k 4) (mk_result (k 4) 100);
+        check_int "still three entries" 3 (Rcache.entries cache);
+        check_bool "k2 was the least recently used" true
+          (Rcache.find cache (k 2) = None);
+        check_bool "k1 survived" true (Rcache.find cache (k 1) <> None);
+        check_bool "k3 survived" true (Rcache.find cache (k 3) <> None);
+        check_bool "k4 present" true (Rcache.find cache (k 4) <> None);
+        check_int "hits counted" 4 stats.Stats.result_hits;
+        check_int "misses counted" 1 stats.Stats.result_misses;
+        check_bool "bytes accounted under cap" true (Rcache.bytes cache <= 810));
+    Alcotest.test_case "an entry bigger than the cap is not cached" `Quick
+      (fun () ->
+        let cache = Rcache.create ~max_bytes:100 ~stats:(Stats.create ()) () in
+        Rcache.add cache "huge" (mk_result "huge" 500);
+        check_int "not stored" 0 (Rcache.entries cache));
+  ]
+
+(* ---- end-to-end over a Unix socket ---- *)
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Printf.sprintf "%s/mfd-t%d-%d.sock"
+    (Filename.get_temp_dir_name ())
+    (Unix.getpid ()) !sock_counter
+
+let with_server ?(jobs = 1) ?(queue_depth = 8) ?(max_frame = 1024 * 1024) f =
+  let endpoint = Server.Unix_socket (fresh_sock ()) in
+  let ready = Atomic.make false in
+  let config =
+    {
+      (Server.default_config endpoint) with
+      Server.jobs;
+      queue_depth;
+      cache_mb = 4;
+      max_frame;
+    }
+  in
+  let d =
+    Domain.spawn (fun () ->
+        Server.run ~on_ready:(fun () -> Atomic.set ready true) config)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      (* Ask for shutdown if the test has not already done so; the
+         socket may be gone by now, which is fine. *)
+      (match Client.connect endpoint with
+      | c ->
+          (try ignore (Client.call c Proto.Shutdown) with _ -> ());
+          Client.close c
+      | exception _ -> ());
+      Domain.join d)
+    (fun () -> f endpoint)
+
+let run_op ?(lut_size = 5) ?(algorithm = Mulop.Mulop_dc) ?effort ?timeout
+    ?node_budget ?(checks = Diagnostic.Off) ?(verify = false) source =
+  Proto.Run
+    {
+      Proto.source;
+      lut_size;
+      algorithm;
+      effort;
+      timeout;
+      node_budget;
+      checks;
+      verify;
+    }
+
+let expect_run client op =
+  match Client.call client op with
+  | Ok (Proto.Ok_run (_, r)) -> r
+  | Ok (Proto.Err { code; message; _ }) ->
+      Alcotest.fail
+        (Printf.sprintf "server error %s: %s" (Proto.error_code_name code)
+           message)
+  | Ok _ -> Alcotest.fail "unexpected response kind"
+  | Error msg -> Alcotest.fail ("protocol error: " ^ msg)
+
+let expect_stats client =
+  match Client.call client Proto.Stats with
+  | Ok (Proto.Ok_stats (_, s)) -> s
+  | _ -> Alcotest.fail "no stats response"
+
+(* What the CLI code path produces for the same request — Batch.run_one
+   on the manager that built the spec, exactly as mfd run does. *)
+let direct ?(checks = Diagnostic.Off) ?(verify = false)
+    ?(algorithm = Mulop.Mulop_dc) ~job build =
+  let m = Bdd.manager () in
+  let spec = build m in
+  match
+    Batch.run_one ~lut_size:5 ~checks ~verify ~stats:(Stats.create ())
+      algorithm m spec
+  with
+  | Ok s ->
+      ( s,
+        Blif.print ~model:job s.Batch.network,
+        Diagnostic.to_json s.Batch.findings )
+  | Error e -> Alcotest.fail ("direct run failed: " ^ e.Batch.message)
+
+let e2e_tests =
+  [
+    Alcotest.test_case "served result is identical to the CLI run" `Quick
+      (fun () ->
+        with_server ~jobs:2 (fun endpoint ->
+            let c = Client.connect endpoint in
+            let r =
+              expect_run c
+                (run_op ~checks:Diagnostic.Full ~verify:true
+                   (Proto.Target "rd53"))
+            in
+            let s, blif, findings =
+              direct ~checks:Diagnostic.Full ~verify:true ~job:"rd53"
+                (fun m -> List.assoc "rd53" Extra.catalogue m)
+            in
+            check_string "byte-identical BLIF" blif r.Proto.blif;
+            check_string "byte-identical findings JSON" findings
+              r.Proto.findings;
+            check_int "luts" s.Batch.lut_count r.Proto.luts;
+            check_int "clbs" s.Batch.clb_count r.Proto.clbs;
+            check_int "depth" s.Batch.depth r.Proto.depth;
+            check_int "steps" s.Batch.step_count r.Proto.steps;
+            check_bool "verified" true (r.Proto.verified = Some true);
+            check_bool "first submission is not cached" true
+              (not r.Proto.cached);
+            Client.close c));
+    Alcotest.test_case "inline BLIF text is served like the CLI" `Quick
+      (fun () ->
+        (* A valid network to submit: decompose sym6 locally, print it,
+           and feed the text back through the daemon. *)
+        let text =
+          let m = Bdd.manager () in
+          let spec = List.assoc "sym6" Extra.catalogue m in
+          match
+            Batch.run_one ~stats:(Stats.create ()) Mulop.Mulop_dc m spec
+          with
+          | Ok s -> Blif.print ~model:"t" s.Batch.network
+          | Error e -> Alcotest.fail e.Batch.message
+        in
+        with_server (fun endpoint ->
+            let c = Client.connect endpoint in
+            let r = expect_run c (run_op (Proto.Blif_text text)) in
+            let s, blif, _ =
+              direct ~job:"blif" (fun m ->
+                  Randnet.spec_of_network m (Blif.parse text))
+            in
+            check_string "byte-identical BLIF" blif r.Proto.blif;
+            check_int "luts" s.Batch.lut_count r.Proto.luts;
+            Client.close c));
+    Alcotest.test_case "repeat submission is a cache hit" `Quick (fun () ->
+        with_server (fun endpoint ->
+            let c = Client.connect endpoint in
+            let r1 = expect_run c (run_op (Proto.Target "rd53")) in
+            let r2 = expect_run c (run_op (Proto.Target "rd53")) in
+            check_bool "first is computed" true (not r1.Proto.cached);
+            check_bool "second is served from the cache" true r2.Proto.cached;
+            check_string "same BLIF either way" r1.Proto.blif r2.Proto.blif;
+            check_int "same luts" r1.Proto.luts r2.Proto.luts;
+            let s = expect_stats c in
+            check_bool "server counted the hit" true (s.Proto.result_hits > 0);
+            check_bool "and the misses" true (s.Proto.result_misses > 0);
+            check_bool "cache holds the entry" true (s.Proto.cache_entries >= 1);
+            (* A budgeted run must bypass the cache: its outcome is
+               timing-dependent. *)
+            let b1 =
+              expect_run c (run_op ~node_budget:10_000_000 (Proto.Target "rd53"))
+            in
+            let b2 =
+              expect_run c (run_op ~node_budget:10_000_000 (Proto.Target "rd53"))
+            in
+            check_bool "budgeted runs are never cached" true
+              ((not b1.Proto.cached) && not b2.Proto.cached);
+            Client.close c));
+    Alcotest.test_case "full queue answers queue-full with a retry hint"
+      `Quick (fun () ->
+        with_server ~jobs:1 ~queue_depth:1 (fun endpoint ->
+            let c = Client.connect endpoint in
+            let n = 30 in
+            (* Budgeted requests bypass the cache, so every job costs
+               real compute and the single worker cannot keep up with
+               30 back-to-back admissions through a depth-1 queue. *)
+            for _ = 1 to n do
+              ignore
+                (Client.send c
+                   (run_op ~node_budget:10_000_000 (Proto.Target "sym6")))
+            done;
+            let ok = ref 0 and full = ref 0 in
+            for _ = 1 to n do
+              match Client.recv c with
+              | Ok (Proto.Ok_run _) -> incr ok
+              | Ok (Proto.Err { code = Proto.Queue_full; retry_after; _ }) ->
+                  check_bool "retry hint present" true (retry_after <> None);
+                  check_bool "retry hint positive" true
+                    (match retry_after with Some t -> t > 0.0 | None -> false);
+                  incr full
+              | Ok _ -> Alcotest.fail "unexpected response"
+              | Error msg -> Alcotest.fail msg
+            done;
+            check_int "every request answered" n (!ok + !full);
+            check_bool "some jobs ran" true (!ok >= 1);
+            check_bool "backpressure engaged" true (!full >= 1);
+            Client.close c));
+    Alcotest.test_case "malformed and oversized frames do not kill the server"
+      `Quick (fun () ->
+        with_server ~max_frame:1024 (fun endpoint ->
+            let c = Client.connect endpoint in
+            Client.send_raw c "{this is not json";
+            (match Client.recv c with
+            | Ok (Proto.Err { code = Proto.Bad_request; _ }) -> ()
+            | _ -> Alcotest.fail "malformed JSON should be bad-request");
+            Client.send_raw c "42";
+            (match Client.recv c with
+            | Ok (Proto.Err { code = Proto.Bad_request; _ }) -> ()
+            | _ -> Alcotest.fail "non-object should be bad-request");
+            Client.send_raw c (String.make 5000 'x');
+            (match Client.recv c with
+            | Ok (Proto.Err { code = Proto.Too_large; _ }) -> ()
+            | _ -> Alcotest.fail "oversized frame should be too-large");
+            (* the same connection still works after all three *)
+            (match Client.call c Proto.Ping with
+            | Ok (Proto.Pong _) -> ()
+            | _ -> Alcotest.fail "connection should have survived");
+            (match Client.call c (run_op (Proto.Target "no-such-circuit")) with
+            | Ok (Proto.Err { code = Proto.Parse_error; message; _ }) ->
+                check_bool "names the benchmark" true
+                  (contains message "no-such-circuit")
+            | _ -> Alcotest.fail "unknown benchmark should be parse-error");
+            (match
+               Client.call c
+                 (run_op
+                    (Proto.Blif_text
+                       ".model x\n.inputs a\n.outputs f\n.names a f\nx 1\n.end\n"))
+             with
+            | Ok (Proto.Err { code = Proto.Parse_error; _ }) -> ()
+            | _ -> Alcotest.fail "a malformed cube should be parse-error");
+            let r = expect_run c (run_op (Proto.Target "rd53")) in
+            check_bool "real work still served" true (r.Proto.luts > 0);
+            Client.close c));
+    Alcotest.test_case "a request split into single bytes is reassembled"
+      `Quick (fun () ->
+        with_server (fun endpoint ->
+            let c = Client.connect endpoint in
+            let payload =
+              Proto.to_string
+                (Proto.request_to_json { Proto.id = 5; op = Proto.Ping })
+            in
+            let wire = Frame.encode payload in
+            Bytes.iter
+              (fun b ->
+                ignore (Unix.write (Client.fd c) (Bytes.make 1 b) 0 1))
+              wire;
+            (match Client.recv c with
+            | Ok (Proto.Pong 5) -> ()
+            | _ -> Alcotest.fail "byte-at-a-time ping should still pong");
+            Client.close c));
+    Alcotest.test_case "client disconnect mid-job does not hurt the server"
+      `Quick (fun () ->
+        with_server ~jobs:1 (fun endpoint ->
+            let a = Client.connect endpoint in
+            ignore
+              (Client.send a
+                 (run_op ~node_budget:10_000_000 (Proto.Target "parity12")));
+            (* hang up while the job is (almost surely) still running;
+               the orphaned result must be dropped quietly *)
+            Client.close a;
+            let b = Client.connect endpoint in
+            (match Client.call b Proto.Ping with
+            | Ok (Proto.Pong _) -> ()
+            | _ -> Alcotest.fail "server should still answer");
+            let r = expect_run b (run_op (Proto.Target "rd53")) in
+            check_bool "still serving real work" true (r.Proto.luts > 0);
+            (match Client.call b Proto.Shutdown with
+            | Ok (Proto.Bye _) -> ()
+            | _ -> Alcotest.fail "shutdown should be acknowledged");
+            Client.close b));
+    Alcotest.test_case "shutdown drains queued jobs and unlinks the socket"
+      `Quick (fun () ->
+        let path = fresh_sock () in
+        let endpoint = Server.Unix_socket path in
+        let ready = Atomic.make false in
+        let config =
+          { (Server.default_config endpoint) with Server.jobs = 1 }
+        in
+        let d =
+          Domain.spawn (fun () ->
+              Server.run ~on_ready:(fun () -> Atomic.set ready true) config)
+        in
+        while not (Atomic.get ready) do
+          Unix.sleepf 0.002
+        done;
+        let c = Client.connect endpoint in
+        (* one queued job, then shutdown: the job's answer must still
+           arrive before the server exits *)
+        let run_id = Client.send c (run_op (Proto.Target "rd53")) in
+        let shut_id = Client.send c Proto.Shutdown in
+        let got_run = ref false and got_bye = ref false in
+        for _ = 1 to 2 do
+          match Client.recv c with
+          | Ok (Proto.Ok_run (id, r)) ->
+              check_int "run answered under its id" run_id id;
+              check_bool "real result" true (r.Proto.luts > 0);
+              got_run := true
+          | Ok (Proto.Bye id) ->
+              check_int "bye under its id" shut_id id;
+              got_bye := true
+          | Ok _ -> Alcotest.fail "unexpected response"
+          | Error msg -> Alcotest.fail msg
+        done;
+        check_bool "both responses arrived" true (!got_run && !got_bye);
+        Client.close c;
+        Domain.join d;
+        check_bool "socket file removed" true (not (Sys.file_exists path)));
+  ]
+
+let suite =
+  proto_tests @ frame_tests @ bqueue_tests @ rcache_tests @ e2e_tests
