@@ -8,64 +8,107 @@
    Sections: table1 table2 figure2 figure3 ablation governor check
    semantics robdd batch serve timing
 
-   Paper-vs-measured records land in EXPERIMENTS.md; this executable
-   prints the measured side next to the reference values that the
-   supplied paper text contains. *)
+   Every run emits BENCH_<stamp>.json and BENCH_latest.json
+   (Bench_report schema): per-section and per-run wall time, the
+   Gc.allocated_bytes delta, Stats counters and LUT/CLB quality
+   numbers.  Console tables and JSON render from the same structure,
+   so they cannot disagree.
 
-let section_enabled =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args = List.filter (fun a -> a <> "--") args in
-  let quick = List.mem "quick" args in
-  let named = List.filter (fun a -> a <> "quick") args in
-  fun name -> ((named = [] || List.mem name named), quick)
+   Flags:
+     --out DIR           where BENCH_*.json land (default ".")
+     --against FILE      diff this run against a baseline report;
+                         exit 1 on stable-counter/quality regression
+     --max-regress PCT   regression threshold for --against (default 10)
+     --json              print the --against verdict as JSON
+     --render-md [FILE]  render a report (default OUT/BENCH_latest.json)
+                         as markdown to stdout and exit
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+   Paper-vs-measured records land in EXPERIMENTS.md, regenerated from
+   BENCH_latest.json via --render-md. *)
 
-let hr title =
-  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
-
-(* ------------------------------------------------------------------ *)
-(* Table 1: CLB counts (XC3000) without / with don't-care exploitation *)
-(* ------------------------------------------------------------------ *)
+module R = Bench_report
 
 (* The circuits whose decomposition is slowest; skipped under `quick`. *)
 let slow_circuits = [ "C499"; "C880"; "rot"; "count"; "e64" ]
 
-(* The stats instance of the section currently running: the harness is
-   single-threaded (the batch section's worker domains create their own
-   per-job stats inside Batch), so one slot the section wrapper swaps
-   per section is enough to aggregate every run a section performs. *)
+(* Stats plumbing: [section_stats] is the per-run slot [run_driver]
+   reads (the harness is single-threaded; the batch section's worker
+   domains create their own per-job stats inside Batch), [section_agg]
+   accumulates every run of the current section. *)
+let section_agg = ref (Stats.create ())
 let section_stats = ref (Stats.create ())
+
+(* Measure one run: fresh stats + wall + allocation delta, merged into
+   the section aggregate.  Returns everything a [R.run] needs. *)
+let with_run_stats f =
+  let s = Stats.create () in
+  section_stats := s;
+  let result, wall, alloc = R.measure f in
+  Stats.merge ~into:!section_agg s;
+  (result, wall, alloc, s)
 
 let run_driver m cfg spec =
   let report = Driver.decompose_report ~cfg ~stats:!section_stats m spec in
   Network.sweep report.Driver.network
 
+let row label cells = { R.label; cells }
+
+let mk_run ?(stable = true) ?luts ?clbs ?depth ?bdd_nodes ~algorithm ~wall
+    ~alloc ~stats name =
+  {
+    R.name;
+    algorithm;
+    stable;
+    wall;
+    alloc_bytes = alloc;
+    luts;
+    clbs;
+    depth;
+    bdd_nodes;
+    stats;
+  }
+
+(* What a section computes; the runner adds name, wall, allocation and
+   the aggregated stats. *)
+type partial = {
+  title : string;
+  command : string;
+  columns : string list;
+  rows : R.row list;
+  runs : R.run list;
+  notes : string list;
+}
+
+let skip_note skipped =
+  if skipped = [] then []
+  else
+    [
+      Printf.sprintf "skipped under `quick`: %s"
+        (String.concat ", " (List.rev skipped));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: CLB counts (XC3000) without / with don't-care exploitation *)
+(* ------------------------------------------------------------------ *)
+
 let table1 quick =
-  hr "Table 1: CLB counts for XC3000 (n_LUT = 5), mulopII vs mulop-dc";
-  Printf.printf
-    "The paper reports CLB reductions of up to 35%% (alu2) and >10%% overall;\n\
-     absolute counts differ because stand-in functions replace the original\n\
-     MCNC netlists for the rows marked '~' (see DESIGN.md section 4).\n\n";
-  Printf.printf "%-8s %2s %5s %5s | %8s %8s | %7s %8s\n" "circuit" "" "in"
-    "out" "mulopII" "mulop-dc" "gain" "time";
+  let rows = ref [] and runs = ref [] and skipped = ref [] in
   let total_ii = ref 0 and total_dc = ref 0 in
   List.iter
     (fun e ->
+      let label = (if e.Mcnc.exact then "" else "~") ^ e.Mcnc.name in
       if quick && List.mem e.Mcnc.name slow_circuits then
-        Printf.printf "%-8s %2s (skipped under `quick`)\n" e.Mcnc.name
-          (if e.Mcnc.exact then "" else "~")
+        skipped := label :: !skipped
       else begin
         let m = Bdd.manager () in
         let spec = e.Mcnc.build m in
-        let (ii, dc), dt =
-          time (fun () ->
-              let ii = run_driver m (Mulop.config_of Mulop.Mulop_ii) spec in
-              let dc = run_driver m (Mulop.config_of Mulop.Mulop_dc) spec in
-              (ii, dc))
+        let ii, ii_w, ii_a, ii_s =
+          with_run_stats (fun () ->
+              run_driver m (Mulop.config_of Mulop.Mulop_ii) spec)
+        in
+        let dc, dc_w, dc_a, dc_s =
+          with_run_stats (fun () ->
+              run_driver m (Mulop.config_of Mulop.Mulop_dc) spec)
         in
         assert (Driver.verify m spec ii);
         assert (Driver.verify m spec dc);
@@ -76,125 +119,235 @@ let table1 quick =
         let gain =
           100.0 *. (1.0 -. (float_of_int cdc /. float_of_int (max 1 cii)))
         in
-        Printf.printf "%-8s %2s %5d %5d | %8d %8d | %6.1f%% %7.1fs\n"
-          e.Mcnc.name
-          (if e.Mcnc.exact then "" else "~")
-          e.Mcnc.ninputs e.Mcnc.noutputs cii cdc gain dt
+        let nodes = Bdd.node_count m in
+        runs :=
+          mk_run ~algorithm:"mulop-dc" ~wall:dc_w ~alloc:dc_a ~stats:dc_s
+            ~luts:(Network.stats dc).Network.lut_count ~clbs:cdc
+            ~bdd_nodes:nodes e.Mcnc.name
+          :: mk_run ~algorithm:"mulopII" ~wall:ii_w ~alloc:ii_a ~stats:ii_s
+               ~luts:(Network.stats ii).Network.lut_count ~clbs:cii e.Mcnc.name
+          :: !runs;
+        rows :=
+          row label
+            [
+              ("in", R.Int e.Mcnc.ninputs);
+              ("out", R.Int e.Mcnc.noutputs);
+              ("mulopII", R.Int cii);
+              ("mulop-dc", R.Int cdc);
+              ("gain", R.Pct gain);
+              ("time", R.Secs (ii_w +. dc_w));
+            ]
+          :: !rows
       end)
     Mcnc.catalogue;
   let gain =
     100.0 *. (1.0 -. (float_of_int !total_dc /. float_of_int (max 1 !total_ii)))
   in
-  Printf.printf "%-8s %2s %5s %5s | %8d %8d | %6.1f%%\n" "total" "" "" ""
-    !total_ii !total_dc gain;
-  Printf.printf
-    "\npaper: alu2 gains ~35%%, total gain > 10%%; measured total gain %.1f%%\n"
-    gain
+  {
+    title = "Table 1: CLB counts for XC3000 (n_LUT = 5), mulopII vs mulop-dc";
+    command = "dune exec bench/main.exe -- table1";
+    columns = [ "circuit"; "in"; "out"; "mulopII"; "mulop-dc"; "gain"; "time" ];
+    rows =
+      List.rev
+        (row "total"
+           [
+             ("mulopII", R.Int !total_ii);
+             ("mulop-dc", R.Int !total_dc);
+             ("gain", R.Pct gain);
+           ]
+        :: !rows);
+    runs = List.rev !runs;
+    notes =
+      [
+        "paper: alu2 gains ~35%, total gain > 10%; absolute counts differ \
+         because stand-in functions replace the original MCNC netlists for \
+         the rows marked '~' (see DESIGN.md section 4)";
+        Printf.sprintf "measured total gain: %.1f%%" gain;
+      ]
+      @ skip_note !skipped;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: mulop-dcII vs published mappers                            *)
 (* ------------------------------------------------------------------ *)
 
 let table2 quick =
-  hr "Table 2: CLB counts, mulop-dcII (max-matching CLB merge)";
-  Printf.printf
-    "The supplied paper text contains Table 2's structure but the OCR lost\n\
-     the per-row values of FGMap / mis-pga(new) / IMODEC, so only our own\n\
-     columns are measured: mulop-dc (first-fit merge, as in Table 1) against\n\
-     mulop-dcII (maximum-cardinality matching merge, Murgai et al.).  The\n\
-     paper's qualitative claim is that mulop-dcII wins overall.\n\n";
-  Printf.printf "%-8s %2s | %9s %10s | %s\n" "circuit" "" "mulop-dc"
-    "mulop-dcII" "luts";
+  let rows = ref [] and runs = ref [] and skipped = ref [] in
   let total_dc = ref 0 and total_dcii = ref 0 in
   List.iter
     (fun e ->
+      let label = (if e.Mcnc.exact then "" else "~") ^ e.Mcnc.name in
       if quick && List.mem e.Mcnc.name slow_circuits then
-        Printf.printf "%-8s %2s (skipped under `quick`)\n" e.Mcnc.name
-          (if e.Mcnc.exact then "" else "~")
+        skipped := label :: !skipped
       else begin
         let m = Bdd.manager () in
         let spec = e.Mcnc.build m in
-        let net = run_driver m (Mulop.config_of Mulop.Mulop_dc) spec in
+        let net, wall, alloc, stats =
+          with_run_stats (fun () ->
+              run_driver m (Mulop.config_of Mulop.Mulop_dc) spec)
+        in
         assert (Driver.verify m spec net);
         let first_fit = Clb.clb_count Clb.First_fit net in
         let matching = Clb.clb_count Clb.Max_matching net in
         total_dc := !total_dc + first_fit;
         total_dcii := !total_dcii + matching;
-        Printf.printf "%-8s %2s | %9d %10d | %4d\n" e.Mcnc.name
-          (if e.Mcnc.exact then "" else "~")
-          first_fit matching
-          (Network.stats net).Network.lut_count
+        let luts = (Network.stats net).Network.lut_count in
+        runs :=
+          mk_run ~algorithm:"mulop-dcII" ~wall ~alloc ~stats ~luts
+            ~clbs:matching e.Mcnc.name
+          :: !runs;
+        rows :=
+          row label
+            [
+              ("mulop-dc", R.Int first_fit);
+              ("mulop-dcII", R.Int matching);
+              ("luts", R.Int luts);
+            ]
+          :: !rows
       end)
     Mcnc.catalogue;
-  Printf.printf "%-8s %2s | %9d %10d |\n" "total" "" !total_dc !total_dcii;
-  Printf.printf "\nmatching merge saves %d CLBs over first-fit on the suite\n"
-    (!total_dc - !total_dcii)
+  {
+    title = "Table 2: CLB counts, mulop-dcII (max-matching CLB merge)";
+    command = "dune exec bench/main.exe -- table2";
+    columns = [ "circuit"; "mulop-dc"; "mulop-dcII"; "luts" ];
+    rows =
+      List.rev
+        (row "total"
+           [
+             ("mulop-dc", R.Int !total_dc); ("mulop-dcII", R.Int !total_dcii);
+           ]
+        :: !rows);
+    runs = List.rev !runs;
+    notes =
+      [
+        "the supplied paper text contains Table 2's structure but the OCR \
+         lost the per-row values of FGMap / mis-pga(new) / IMODEC, so only \
+         our own columns are measured: mulop-dc (first-fit merge) against \
+         mulop-dcII (maximum-cardinality matching merge, Murgai et al.); \
+         the paper's qualitative claim is that mulop-dcII wins overall";
+        Printf.sprintf "matching merge saves %d CLBs over first-fit"
+          (!total_dc - !total_dcii);
+      ]
+      @ skip_note !skipped;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2: 8-bit adder from two-input gates                          *)
 (* ------------------------------------------------------------------ *)
 
 let figure2 quick =
-  hr "Figure 2: automatically generated 8-bit adder (two-input gates)";
-  Printf.printf
-    "paper: 49 two-input gates for the generated adder vs 90 for the\n\
-     conditional-sum adder.  Shape to reproduce: generated < conditional-sum,\n\
-     and the don't-care concept is what gets it there.\n\n";
+  let rows = ref [] and runs = ref [] in
   let sizes = if quick then [ 4; 8 ] else [ 4; 6; 8 ] in
-  Printf.printf "%5s | %10s %10s %10s | %10s\n" "bits" "cond-sum" "mulop-dc"
-    "no-DC" "depth(dc)";
   List.iter
     (fun bits ->
       let m = Bdd.manager () in
       let spec = Arith.adder m ~bits in
       let cs = Network.stats (Circuits.conditional_sum_adder ~bits) in
-      let dc = run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_dc) spec in
-      let ii = run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_ii) spec in
+      let name = Printf.sprintf "adder%d" bits in
+      let dc, dc_w, dc_a, dc_s =
+        with_run_stats (fun () ->
+            run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_dc) spec)
+      in
+      let ii, ii_w, ii_a, ii_s =
+        with_run_stats (fun () ->
+            run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_ii) spec)
+      in
       assert (Driver.verify m spec dc);
       assert (Driver.verify m spec ii);
       let sdc = Network.stats dc and sii = Network.stats ii in
-      Printf.printf "%5d | %10d %10d %10d | %10d\n" bits cs.Network.lut_count
-        sdc.Network.lut_count sii.Network.lut_count sdc.Network.depth)
+      runs :=
+        mk_run ~algorithm:"mulopII" ~wall:ii_w ~alloc:ii_a ~stats:ii_s
+          ~luts:sii.Network.lut_count ~depth:sii.Network.depth name
+        :: mk_run ~algorithm:"mulop-dc" ~wall:dc_w ~alloc:dc_a ~stats:dc_s
+             ~luts:sdc.Network.lut_count ~depth:sdc.Network.depth name
+        :: !runs;
+      rows :=
+        row (string_of_int bits)
+          [
+            ("cond-sum", R.Int cs.Network.lut_count);
+            ("mulop-dc", R.Int sdc.Network.lut_count);
+            ("no-DC", R.Int sii.Network.lut_count);
+            ("depth(dc)", R.Int sdc.Network.depth);
+          ]
+        :: !rows)
     sizes;
-  Printf.printf "\npaper reference at 8 bits: mulop-dc 49, conditional-sum 90\n"
+  {
+    title = "Figure 2: automatically generated adders (two-input gates)";
+    command = "dune exec bench/main.exe -- figure2";
+    columns = [ "bits"; "cond-sum"; "mulop-dc"; "no-DC"; "depth(dc)" ];
+    rows = List.rev !rows;
+    runs = List.rev !runs;
+    notes =
+      [
+        "paper reference at 8 bits: 49 two-input gates for the generated \
+         adder vs 90 for the conditional-sum adder; shape to reproduce: \
+         generated < conditional-sum, and the don't-care concept is what \
+         gets it there";
+      ];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: partial multiplier pm_n                                   *)
 (* ------------------------------------------------------------------ *)
 
 let figure3 quick =
-  hr "Figure 3: partial multiplier pm_n (two-input gates)";
-  Printf.printf
-    "paper: the DC assignment is essential — without it pm_4 needs ~75%%\n\
-     more gates; the Wallace tree needs 10n^2 - 20n gates.\n\n";
+  let rows = ref [] and runs = ref [] in
   let sizes = if quick then [ 3 ] else [ 3; 4 ] in
-  Printf.printf "%4s | %8s %10s %8s %8s | %9s\n" "n" "wallace" "(formula)"
-    "mulop-dc" "no-DC" "overhead";
   List.iter
     (fun n ->
       let m = Bdd.manager () in
       let spec = Arith.partial_multiplier m ~n in
       let w = Network.stats (Circuits.wallace_partial_multiplier ~n) in
-      let dc = run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_dc) spec in
-      let ii = run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_ii) spec in
+      let name = Printf.sprintf "pm%d" n in
+      let dc, dc_w, dc_a, dc_s =
+        with_run_stats (fun () ->
+            run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_dc) spec)
+      in
+      let ii, ii_w, ii_a, ii_s =
+        with_run_stats (fun () ->
+            run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_ii) spec)
+      in
       assert (Driver.verify m spec dc);
       assert (Driver.verify m spec ii);
       let gdc = (Network.stats dc).Network.lut_count in
       let gii = (Network.stats ii).Network.lut_count in
-      Printf.printf "%4d | %8d %10d %8d %8d | %+8.0f%%\n" n
-        w.Network.lut_count
-        (Circuits.wallace_gate_formula n)
-        gdc gii
-        (100.0 *. ((float_of_int gii /. float_of_int (max 1 gdc)) -. 1.0)))
+      runs :=
+        mk_run ~algorithm:"mulopII" ~wall:ii_w ~alloc:ii_a ~stats:ii_s
+          ~luts:gii name
+        :: mk_run ~algorithm:"mulop-dc" ~wall:dc_w ~alloc:dc_a ~stats:dc_s
+             ~luts:gdc name
+        :: !runs;
+      rows :=
+        row (string_of_int n)
+          [
+            ("wallace", R.Int w.Network.lut_count);
+            ("formula", R.Int (Circuits.wallace_gate_formula n));
+            ("mulop-dc", R.Int gdc);
+            ("no-DC", R.Int gii);
+            ( "overhead",
+              R.Pct (100.0 *. ((float_of_int gii /. float_of_int (max 1 gdc)) -. 1.0))
+            );
+          ]
+        :: !rows)
     sizes;
-  Printf.printf "\npaper reference: +75%% without the DC assignment at n = 4\n"
+  {
+    title = "Figure 3: partial multiplier pm_n (two-input gates)";
+    command = "dune exec bench/main.exe -- figure3";
+    columns = [ "n"; "wallace"; "formula"; "mulop-dc"; "no-DC"; "overhead" ];
+    rows = List.rev !rows;
+    runs = List.rev !runs;
+    notes =
+      [
+        "paper: the DC assignment is essential — without it pm_4 needs ~75% \
+         more gates; the Wallace tree needs 10n^2 - 20n gates";
+      ];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: contribution of each DC step                              *)
 (* ------------------------------------------------------------------ *)
 
 let ablation _quick =
-  hr "Ablation: contribution of the three DC steps (CLBs, XC3000)";
   let circuits = [ "5xp1"; "alu2"; "clip"; "rd84"; "z4ml"; "f51m" ] in
   let variants =
     [
@@ -226,74 +379,237 @@ let ablation _quick =
       ("all (mulop-dc)", Config.mulop_dc);
     ]
   in
-  Printf.printf "%-16s" "variant";
-  List.iter (fun c -> Printf.printf " %6s" c) circuits;
-  Printf.printf " %7s\n" "total";
+  let rows = ref [] and runs = ref [] in
   List.iter
-    (fun (name, cfg) ->
-      Printf.printf "%-16s" name;
+    (fun (variant, cfg) ->
       let total = ref 0 in
-      List.iter
-        (fun circuit ->
-          let e = Mcnc.find circuit in
-          let m = Bdd.manager () in
-          let spec = e.Mcnc.build m in
-          let net = run_driver m cfg spec in
-          assert (Driver.verify m spec net);
-          let clbs = Clb.clb_count Clb.First_fit net in
-          total := !total + clbs;
-          Printf.printf " %6d%!" clbs)
-        circuits;
-      Printf.printf " %7d\n" !total)
-    variants
+      let cells =
+        List.map
+          (fun circuit ->
+            let e = Mcnc.find circuit in
+            let m = Bdd.manager () in
+            let spec = e.Mcnc.build m in
+            let net, wall, alloc, stats =
+              with_run_stats (fun () -> run_driver m cfg spec)
+            in
+            assert (Driver.verify m spec net);
+            let clbs = Clb.clb_count Clb.First_fit net in
+            total := !total + clbs;
+            runs :=
+              mk_run ~algorithm:variant ~wall ~alloc ~stats ~clbs
+                ~luts:(Network.stats net).Network.lut_count circuit
+              :: !runs;
+            (circuit, R.Int clbs))
+          circuits
+      in
+      rows := row variant (cells @ [ ("total", R.Int !total) ]) :: !rows)
+    variants;
+  {
+    title = "Ablation: contribution of the three DC steps (CLBs, XC3000)";
+    command = "dune exec bench/main.exe -- ablation";
+    columns = ("variant" :: circuits) @ [ "total" ];
+    rows = List.rev !rows;
+    runs = List.rev !runs;
+    notes =
+      [
+        "each DC step enabled in isolation and in combination, CLB counts \
+         per circuit; 'all' is the paper's mulop-dc";
+      ];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Governor: graceful degradation under resource budgets               *)
 (* ------------------------------------------------------------------ *)
 
 let governor quick =
-  hr "Governor: degradation ladder under deadline / node budgets";
-  Printf.printf
-    "A large random cone network decomposed under shrinking budgets.\n\
-     Exceeding a budget never fails the run: the driver drops symmetry\n\
-     maximization first, then the joint clique cover, finally falls back\n\
-     to plain Shannon/MUX emission.  Every row is verified against the\n\
-     specification.\n\n";
   let ninputs, noutputs = if quick then (30, 8) else (48, 16) in
   let window, gates_per_output = if quick then (12, 24) else (16, 40) in
+  let workload = Printf.sprintf "cones%dx%d" ninputs noutputs in
+  (* timeout-governed rows depend on elapsed time, so their counters
+     and degradation ladders are not reproducible: stable = false. *)
   let variants =
     [
-      ("unlimited", fun stats -> Budget.create ~stats ());
-      ("effort quick", fun stats -> Budget.create ~effort:Budget.Quick ~stats ());
-      ("timeout 1s", fun stats -> Budget.create ~timeout:1.0 ~stats ());
-      ("nodes 50k", fun stats -> Budget.create ~node_budget:50_000 ~stats ());
-      ("nodes 5k", fun stats -> Budget.create ~node_budget:5_000 ~stats ());
-      ("timeout 0s", fun stats -> Budget.create ~timeout:0.0 ~stats ());
+      ("unlimited", true, fun stats -> Budget.create ~stats ());
+      ( "effort quick",
+        true,
+        fun stats -> Budget.create ~effort:Budget.Quick ~stats () );
+      ("timeout 1s", false, fun stats -> Budget.create ~timeout:1.0 ~stats ());
+      ( "nodes 50k",
+        true,
+        fun stats -> Budget.create ~node_budget:50_000 ~stats () );
+      ("nodes 5k", true, fun stats -> Budget.create ~node_budget:5_000 ~stats ());
+      ("timeout 0s", false, fun stats -> Budget.create ~timeout:0.0 ~stats ());
     ]
   in
-  Printf.printf "%-14s | %6s %6s %6s | %-13s %5s | %7s\n" "budget" "luts"
-    "clbs" "depth" "degraded-to" "degr" "time";
+  let rows = ref [] and runs = ref [] in
   List.iter
-    (fun (name, make_budget) ->
+    (fun (variant, stable, make_budget) ->
       let m = Bdd.manager () in
       let net =
         Randnet.cones ~ninputs ~noutputs ~window ~gates_per_output ~seed:42 ()
       in
       let spec = Randnet.spec_of_network m net in
-      let row_stats = Stats.create () in
-      let budget = make_budget row_stats in
-      let o, dt =
-        time (fun () -> Mulop.run ~budget ~stats:row_stats m Mulop.Mulop_dc spec)
+      let o, wall, alloc, stats =
+        with_run_stats (fun () ->
+            let budget = make_budget !section_stats in
+            Mulop.run ~budget ~stats:!section_stats m Mulop.Mulop_dc spec)
       in
       assert (Driver.verify m spec o.Mulop.network);
-      Printf.printf "%-14s | %6d %6d %6d | %-13s %5d | %6.1fs\n" name
-        o.Mulop.lut_count o.Mulop.clb_count o.Mulop.depth
-        (Budget.stage_name o.Mulop.degraded_to)
-        (List.length (Stats.degradations row_stats))
-        dt;
-      Stats.merge ~into:!section_stats row_stats)
+      runs :=
+        mk_run ~stable ~algorithm:variant ~wall ~alloc ~stats
+          ~luts:o.Mulop.lut_count ~clbs:o.Mulop.clb_count ~depth:o.Mulop.depth
+          workload
+        :: !runs;
+      rows :=
+        row variant
+          [
+            ("luts", R.Int o.Mulop.lut_count);
+            ("clbs", R.Int o.Mulop.clb_count);
+            ("depth", R.Int o.Mulop.depth);
+            ("degraded-to", R.Str (Budget.stage_name o.Mulop.degraded_to));
+            ("degr", R.Int (List.length (Stats.degradations stats)));
+            ("time", R.Secs wall);
+          ]
+        :: !rows)
     variants;
-  Printf.printf "\nall rows verified: degraded networks stay correct\n"
+  {
+    title = "Governor: degradation ladder under deadline / node budgets";
+    command = "dune exec bench/main.exe -- governor";
+    columns = [ "budget"; "luts"; "clbs"; "depth"; "degraded-to"; "degr"; "time" ];
+    rows = List.rev !rows;
+    runs = List.rev !runs;
+    notes =
+      [
+        Printf.sprintf
+          "a random cone network (%s, seed 42) decomposed under shrinking \
+           budgets; exceeding a budget never fails the run: the driver \
+           drops symmetry maximization first, then the joint clique cover, \
+           finally falls back to plain Shannon/MUX emission — every row is \
+           verified against the specification"
+          workload;
+        "timeout rows are wall-clock-governed and excluded from regression \
+         gating (stable = false)";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Assertion-layer overhead: --check=off vs cheap vs full              *)
+(* ------------------------------------------------------------------ *)
+
+let check_circuits quick =
+  if quick then [ "rd73"; "misex1"; "5xp1" ]
+  else [ "rd73"; "rd84"; "misex1"; "5xp1"; "clip"; "sao2"; "alu2" ]
+
+let check_overhead quick =
+  let rows = ref [] and runs = ref [] in
+  List.iter
+    (fun name ->
+      let e = Mcnc.find name in
+      let one algorithm checks =
+        let m = Bdd.manager () in
+        let spec = e.Mcnc.build m in
+        let o, wall, alloc, stats =
+          with_run_stats (fun () ->
+              Mulop.run ~checks ~stats:!section_stats m Mulop.Mulop_dc spec)
+        in
+        runs :=
+          mk_run ~algorithm ~wall ~alloc ~stats ~luts:o.Mulop.lut_count
+            ~clbs:o.Mulop.clb_count name
+          :: !runs;
+        (o, wall)
+      in
+      let o_off, t_off = one "check-off" Diagnostic.Off in
+      let o_cheap, t_cheap = one "check-cheap" Diagnostic.Cheap in
+      let o_full, t_full = one "check-full" Diagnostic.Full in
+      assert (o_off.Mulop.clb_count = o_cheap.Mulop.clb_count);
+      assert (o_off.Mulop.clb_count = o_full.Mulop.clb_count);
+      let pct t = 100.0 *. ((t /. Float.max 1e-9 t_off) -. 1.0) in
+      rows :=
+        row name
+          [
+            ("off", R.Secs t_off);
+            ("cheap", R.Secs t_cheap);
+            ("full", R.Secs t_full);
+            ("cheap ovh", R.Pct (pct t_cheap));
+            ("full ovh", R.Pct (pct t_full));
+            ("findings", R.Int (List.length o_full.Mulop.findings));
+          ]
+        :: !rows)
+    (check_circuits quick);
+  {
+    title = "Check: assertion-layer overhead (mulop-dc, n_LUT = 5)";
+    command = "dune exec bench/main.exe -- check";
+    columns =
+      [ "circuit"; "off"; "cheap"; "full"; "cheap ovh"; "full ovh"; "findings" ];
+    rows = List.rev !rows;
+    runs = List.rev !runs;
+    notes =
+      [
+        "wall time of one mulop-dc run per circuit at each --check level; \
+         checks are pure observers: all levels must produce the same CLB \
+         count, and a clean run reports zero findings";
+        "overhead columns are relative to off; findings are from the full \
+         run and must be 0 on a healthy build";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Semantic-pass overhead: --check=full vs --check=deep                *)
+(* ------------------------------------------------------------------ *)
+
+let semantics_overhead quick =
+  let rows = ref [] and runs = ref [] in
+  List.iter
+    (fun name ->
+      let e = Mcnc.find name in
+      let one algorithm checks =
+        let m = Bdd.manager () in
+        let spec = e.Mcnc.build m in
+        let o, wall, alloc, stats =
+          with_run_stats (fun () ->
+              Mulop.run ~checks ~stats:!section_stats m Mulop.Mulop_dc spec)
+        in
+        runs :=
+          mk_run ~algorithm ~wall ~alloc ~stats ~luts:o.Mulop.lut_count
+            ~clbs:o.Mulop.clb_count name
+          :: !runs;
+        (o, wall)
+      in
+      let o_full, t_full = one "check-full" Diagnostic.Full in
+      let o_deep, t_deep = one "check-deep" Diagnostic.Deep in
+      assert (o_full.Mulop.clb_count = o_deep.Mulop.clb_count);
+      let sem =
+        List.filter
+          (fun f ->
+            String.length f.Diagnostic.code >= 3
+            && String.sub f.Diagnostic.code 0 3 = "SEM")
+          o_deep.Mulop.findings
+      in
+      let pct = 100.0 *. ((t_deep /. Float.max 1e-9 t_full) -. 1.0) in
+      rows :=
+        row name
+          [
+            ("full", R.Secs t_full);
+            ("deep", R.Secs t_deep);
+            ("overhead", R.Pct pct);
+            ("SEM findings", R.Int (List.length sem));
+          ]
+        :: !rows)
+    (check_circuits quick);
+  {
+    title = "Semantics: SDC/ODC dataflow overhead (mulop-dc, n_LUT = 5)";
+    command = "dune exec bench/main.exe -- semantics";
+    columns = [ "circuit"; "full"; "deep"; "overhead"; "SEM findings" ];
+    rows = List.rev !rows;
+    runs = List.rev !runs;
+    notes =
+      [
+        "--check=deep adds the semantic SDC/ODC dataflow over the final \
+         network against the specification's care set; deep checks are \
+         pure observers too: CLB counts must match, and SEM findings on \
+         the engine's own output indicate leftover don't cares";
+      ];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Extension: ROBDD sizes under symmetrization + symmetric sifting.    *)
@@ -303,165 +619,107 @@ let governor quick =
 (* effect with our substrate.                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* ------------------------------------------------------------------ *)
-(* Assertion-layer overhead: --check=off vs cheap vs full              *)
-(* ------------------------------------------------------------------ *)
-
-let check_overhead quick =
-  hr "Check: assertion-layer overhead (mulop-dc, n_LUT = 5)";
-  Printf.printf
-    "Wall time of one mulop-dc run per circuit at each --check level.\n\
-     Checks are pure observers: all levels must produce the same CLB\n\
-     count, and a clean run reports zero findings.\n\n";
-  Printf.printf "%-8s | %8s %8s %8s | %7s %7s | %8s\n" "circuit" "off" "cheap"
-    "full" "cheap" "full" "findings";
-  let circuits =
-    if quick then [ "rd73"; "misex1"; "5xp1" ]
-    else [ "rd73"; "rd84"; "misex1"; "5xp1"; "clip"; "sao2"; "alu2" ]
-  in
-  List.iter
-    (fun name ->
-      let e = Mcnc.find name in
-      let one checks =
-        let m = Bdd.manager () in
-        let spec = e.Mcnc.build m in
-        time (fun () ->
-            Mulop.run ~checks ~stats:!section_stats m Mulop.Mulop_dc spec)
-      in
-      let o_off, t_off = one Diagnostic.Off in
-      let o_cheap, t_cheap = one Diagnostic.Cheap in
-      let o_full, t_full = one Diagnostic.Full in
-      assert (o_off.Mulop.clb_count = o_cheap.Mulop.clb_count);
-      assert (o_off.Mulop.clb_count = o_full.Mulop.clb_count);
-      let pct t = 100.0 *. ((t /. Float.max 1e-9 t_off) -. 1.0) in
-      Printf.printf "%-8s | %7.3fs %7.3fs %7.3fs | %+6.0f%% %+6.0f%% | %8d\n"
-        name t_off t_cheap t_full (pct t_cheap) (pct t_full)
-        (List.length o_full.Mulop.findings))
-    circuits;
-  Printf.printf
-    "\n(cheap/full columns are overhead relative to off; findings are from\n\
-     the full run and must be 0 on a healthy build)\n"
-
-(* ------------------------------------------------------------------ *)
-(* Semantic-pass overhead: --check=full vs --check=deep                *)
-(* ------------------------------------------------------------------ *)
-
-let semantics_overhead quick =
-  hr "Semantics: SDC/ODC dataflow overhead (mulop-dc, n_LUT = 5)";
-  Printf.printf
-    "Wall time of one mulop-dc run at --check=full vs --check=deep (the\n\
-     latter adds the semantic SDC/ODC dataflow over the final network\n\
-     against the specification's care set).  Deep checks are pure\n\
-     observers too: CLB counts must match, and SEM findings on the\n\
-     engine's own output indicate leftover don't cares.\n\n";
-  Printf.printf "%-8s | %8s %8s | %7s | %8s\n" "circuit" "full" "deep"
-    "deep" "SEM find";
-  let circuits =
-    if quick then [ "rd73"; "misex1"; "5xp1" ]
-    else [ "rd73"; "rd84"; "misex1"; "5xp1"; "clip"; "sao2"; "alu2" ]
-  in
-  List.iter
-    (fun name ->
-      let e = Mcnc.find name in
-      let one checks =
-        let m = Bdd.manager () in
-        let spec = e.Mcnc.build m in
-        time (fun () ->
-            Mulop.run ~checks ~stats:!section_stats m Mulop.Mulop_dc spec)
-      in
-      let o_full, t_full = one Diagnostic.Full in
-      let o_deep, t_deep = one Diagnostic.Deep in
-      assert (o_full.Mulop.clb_count = o_deep.Mulop.clb_count);
-      let sem =
-        List.filter
-          (fun f -> String.length f.Diagnostic.code >= 3
-                    && String.sub f.Diagnostic.code 0 3 = "SEM")
-          o_deep.Mulop.findings
-      in
-      let pct = 100.0 *. ((t_deep /. Float.max 1e-9 t_full) -. 1.0) in
-      Printf.printf "%-8s | %7.3fs %7.3fs | %+6.0f%% | %8d\n" name t_full
-        t_deep pct (List.length sem))
-    circuits;
-  Printf.printf
-    "\n(deep column is overhead relative to full; SEM findings count the\n\
-     semantic-dataflow findings of the deep run)\n"
-
 let robdd _quick =
-  hr "Extension: ROBDD size under don't-care symmetrization (EDTC'97 effect)";
-  Printf.printf
-    "Near-symmetric ISFs: a weight-threshold function of 12 variables\n\
-     with 25%% of the minterms punched out as don't cares.  'zeroed'\n\
-     assigns all DCs to 0 (destroying the symmetry); 'symmetrized' runs\n\
-     the step-1 assignment (recovering it); both are then reordered\n\
-     with (symmetric) sifting.\n\n";
-  Printf.printf "%6s | %8s %8s | %10s %12s | %6s\n" "seed" "zeroed" "sifted"
-    "symmetrized" "sym+sifted" "gain";
+  let rows = ref [] and runs = ref [] in
   let total_before = ref 0 and total_after = ref 0 in
   List.iter
     (fun seed ->
-      let m = Bdd.manager () in
-      let st = Random.State.make [| seed |] in
-      let nvars = 12 in
-      let threshold = 4 + Random.State.int st 4 in
-      let rec weight_fun v ones =
-        if v = nvars then if ones >= threshold then Bdd.one m else Bdd.zero m
-        else
-          Bdd.ite m (Bdd.var m v)
-            (weight_fun (v + 1) (ones + 1))
-            (weight_fun (v + 1) ones)
-      in
-      let sym = weight_fun 0 0 in
-      let dc = Bdd.random m ~nvars ~density:0.25 st in
-      let on = Bdd.diff m sym dc in
-      let isf = Isf.make m ~on ~dc in
-      let vars = List.init nvars Fun.id in
-      (* baseline: all DCs to 0, classical sifting *)
-      let zeroed = Isf.on (Isf.assign_all_zero m isf) in
-      let z_size = Bdd.size zeroed in
-      let z_order = Reorder.sift m [ zeroed ] (Reorder.identity_of_support m [ zeroed ]) in
-      let z_sifted = Reorder.size_under m [ zeroed ] z_order in
-      (* step 1: symmetrize, then keep groups adjacent while sifting *)
-      let r = Symmetry.maximize m [ isf ] vars in
-      let f' =
-        match r.Symmetry.functions with
-        | [ f' ] -> Isf.on (Isf.assign_all_zero m f')
-        | _ -> assert false
-      in
-      let s_size = Bdd.size f' in
-      let groups = List.map Symmetry.group_vars r.Symmetry.groups in
-      let start = Reorder.identity_of_support m [ f' ] in
-      let s_order =
-        if Array.length start >= 2 then
-          Reorder.sift_symmetric m [ f' ] ~groups start
-        else start
-      in
-      let s_sifted =
-        if Array.length start >= 2 then Reorder.size_under m [ f' ] s_order
-        else s_size
+      let name = Printf.sprintf "seed%d" seed in
+      let (z_size, z_sifted, s_size, s_sifted), wall, alloc, stats =
+        with_run_stats (fun () ->
+            let m = Bdd.manager () in
+            let st = Random.State.make [| seed |] in
+            let nvars = 12 in
+            let threshold = 4 + Random.State.int st 4 in
+            let rec weight_fun v ones =
+              if v = nvars then
+                if ones >= threshold then Bdd.one m else Bdd.zero m
+              else
+                Bdd.ite m (Bdd.var m v)
+                  (weight_fun (v + 1) (ones + 1))
+                  (weight_fun (v + 1) ones)
+            in
+            let sym = weight_fun 0 0 in
+            let dc = Bdd.random m ~nvars ~density:0.25 st in
+            let on = Bdd.diff m sym dc in
+            let isf = Isf.make m ~on ~dc in
+            let vars = List.init nvars Fun.id in
+            (* baseline: all DCs to 0, classical sifting *)
+            let zeroed = Isf.on (Isf.assign_all_zero m isf) in
+            let z_size = Bdd.size zeroed in
+            let z_order =
+              Reorder.sift m [ zeroed ]
+                (Reorder.identity_of_support m [ zeroed ])
+            in
+            let z_sifted = Reorder.size_under m [ zeroed ] z_order in
+            (* step 1: symmetrize, keep groups adjacent while sifting *)
+            let r = Symmetry.maximize m [ isf ] vars in
+            let f' =
+              match r.Symmetry.functions with
+              | [ f' ] -> Isf.on (Isf.assign_all_zero m f')
+              | _ -> assert false
+            in
+            let s_size = Bdd.size f' in
+            let groups = List.map Symmetry.group_vars r.Symmetry.groups in
+            let start = Reorder.identity_of_support m [ f' ] in
+            let s_order =
+              if Array.length start >= 2 then
+                Reorder.sift_symmetric m [ f' ] ~groups start
+              else start
+            in
+            let s_sifted =
+              if Array.length start >= 2 then
+                Reorder.size_under m [ f' ] s_order
+              else s_size
+            in
+            (z_size, z_sifted, s_size, s_sifted))
       in
       total_before := !total_before + z_sifted;
       total_after := !total_after + s_sifted;
-      Printf.printf "%6d | %8d %8d | %10d %12d | %5.0f%%\n" seed z_size
-        z_sifted s_size s_sifted
-        (100.0 *. (1.0 -. (float_of_int s_sifted /. float_of_int (max 1 z_sifted)))))
+      runs :=
+        mk_run ~algorithm:"sym+sift" ~wall ~alloc ~stats ~bdd_nodes:s_sifted
+          name
+        :: !runs;
+      rows :=
+        row name
+          [
+            ("zeroed", R.Int z_size);
+            ("sifted", R.Int z_sifted);
+            ("symmetrized", R.Int s_size);
+            ("sym+sifted", R.Int s_sifted);
+            ( "gain",
+              R.Pct
+                (100.0
+                *. (1.0 -. (float_of_int s_sifted /. float_of_int (max 1 z_sifted)))
+                ) );
+          ]
+        :: !rows)
     [ 1; 2; 3; 4; 5; 6 ];
-  Printf.printf
-    "\nshared-size totals: zeroed+sifted %d vs symmetrized+sym-sifted %d\n"
-    !total_before !total_after
+  {
+    title =
+      "Extension: ROBDD size under don't-care symmetrization (EDTC'97 effect)";
+    command = "dune exec bench/main.exe -- robdd";
+    columns = [ "seed"; "zeroed"; "sifted"; "symmetrized"; "sym+sifted"; "gain" ];
+    rows = List.rev !rows;
+    runs = List.rev !runs;
+    notes =
+      [
+        "near-symmetric ISFs: a weight-threshold function of 12 variables \
+         with 25% of the minterms punched out as don't cares; 'zeroed' \
+         assigns all DCs to 0 (destroying the symmetry), 'symmetrized' \
+         runs the step-1 assignment (recovering it); both are then \
+         reordered with (symmetric) sifting";
+        Printf.sprintf
+          "shared-size totals: zeroed+sifted %d vs symmetrized+sym-sifted %d"
+          !total_before !total_after;
+      ];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Batch: domain-parallel scaling over the small-circuit suite         *)
 (* ------------------------------------------------------------------ *)
 
 let batch_scaling quick =
-  hr "Batch: domain-parallel scaling (mulop-dc, n_LUT = 5)";
-  Printf.printf
-    "The whole suite decomposed by `Batch.run` with 1, 2 and 4 worker\n\
-     domains.  Every job owns its BDD manager, budget and stats, so the\n\
-     per-circuit results must be bit-identical at every domain count;\n\
-     the wall-clock speedup is bounded by the cores the host grants\n\
-     (Domain.recommended_domain_count here: %d).\n\n"
-    (Domain.recommended_domain_count ());
   let circuits =
     if quick then [ "rd73"; "z4ml"; "misex1"; "5xp1" ]
     else
@@ -489,28 +747,58 @@ let batch_scaling quick =
   let _, rep1 = List.hd reports in
   let base = counts rep1 in
   List.iter (fun (_, rep) -> assert (counts rep = base)) (List.tl reports);
-  Format.printf "%a@." (Batch.pp_text ~stats:false) rep1;
-  Printf.printf "%8s | %8s %8s\n" "domains" "wall" "speedup";
-  List.iter
-    (fun (jobs, rep) ->
-      Printf.printf "%8d | %7.2fs %7.2fx\n" jobs rep.Batch.wall
-        (rep1.Batch.wall /. Float.max 1e-9 rep.Batch.wall))
-    reports;
-  Printf.printf
-    "\nper-circuit LUT/CLB counts identical across 1/2/4 domains (%d circuits)\n"
-    (List.length circuits);
-  List.iter
-    (fun r -> Stats.merge ~into:!section_stats r.Batch.stats)
-    rep1.Batch.results
+  (* per-job runs come from the 1-domain pass: every job owns its
+     manager and stats, so counters are deterministic; wall time and
+     cross-domain allocation are not gateable, hence alloc 0. *)
+  let runs =
+    List.map
+      (fun r ->
+        match r.Batch.outcome with
+        | Ok s ->
+            Stats.merge ~into:!section_agg r.Batch.stats;
+            mk_run ~algorithm:"mulop-dc" ~wall:r.Batch.seconds ~alloc:0.0
+              ~stats:r.Batch.stats ~luts:s.Batch.lut_count
+              ~clbs:s.Batch.clb_count ~depth:s.Batch.depth r.Batch.job
+        | Error e -> failwith (r.Batch.job ^ ": " ^ e.Batch.message))
+      rep1.Batch.results
+  in
+  let rows =
+    List.map
+      (fun (jobs, rep) ->
+        row (string_of_int jobs)
+          [
+            ("wall", R.Secs rep.Batch.wall);
+            ( "speedup",
+              R.Float (rep1.Batch.wall /. Float.max 1e-9 rep.Batch.wall) );
+          ])
+      reports
+  in
+  {
+    title = "Batch: domain-parallel scaling (mulop-dc, n_LUT = 5)";
+    command = "dune exec bench/main.exe -- batch";
+    columns = [ "domains"; "wall"; "speedup" ];
+    rows;
+    runs;
+    notes =
+      [
+        Printf.sprintf
+          "the whole suite decomposed by Batch.run with 1, 2 and 4 worker \
+           domains; every job owns its BDD manager, budget and stats, so \
+           per-circuit results are asserted bit-identical at every domain \
+           count (%d circuits); speedup is bounded by the cores the host \
+           grants (Domain.recommended_domain_count here: %d)"
+          (List.length circuits)
+          (Domain.recommended_domain_count ());
+        "wall/speedup rows are scheduling-dependent and advisory; the \
+         per-circuit runs (1-domain pass) carry the gateable counters";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serve: daemon cold/warm latency and cache hit rate                  *)
+(* ------------------------------------------------------------------ *)
 
 let serve_bench quick =
-  hr "Serve: daemon cold/warm latency and cache hit rate";
-  Printf.printf
-    "An in-process `mfd serve` daemon on a Unix socket: every circuit is\n\
-     submitted twice over the same connection.  The first pass computes\n\
-     and fills the cross-request result cache (keyed on canonical\n\
-     function fingerprints); the second pass must be answered from the\n\
-     cache, so the warm latency is pure protocol + lookup cost.\n\n";
   let circuits =
     if quick then [ "rd53"; "sym6" ] else [ "rd53"; "sym6"; "maj9"; "parity12" ]
   in
@@ -552,7 +840,7 @@ let serve_bench quick =
     | Ok _ -> failwith (name ^ ": unexpected response")
     | Error msg -> failwith (name ^ ": " ^ msg)
   in
-  Printf.printf "%-10s | %10s %10s %8s\n" "circuit" "cold" "warm" "speedup";
+  let rows = ref [] and runs = ref [] in
   List.iter
     (fun name ->
       let cold, r1 = submit name in
@@ -560,32 +848,62 @@ let serve_bench quick =
       assert (not r1.Proto.cached);
       assert r2.Proto.cached;
       assert (r1.Proto.blif = r2.Proto.blif);
-      Printf.printf "%-10s | %8.2fms %8.2fms %7.1fx\n" name (cold *. 1e3)
-        (warm *. 1e3)
-        (cold /. Float.max 1e-9 warm))
+      runs :=
+        mk_run ~stable:false ~algorithm:"serve" ~wall:cold ~alloc:0.0
+          ~stats:(Stats.create ()) ~luts:r1.Proto.luts ~clbs:r1.Proto.clbs
+          name
+        :: !runs;
+      rows :=
+        row name
+          [
+            ("cold", R.Millis (cold *. 1e3));
+            ("warm", R.Millis (warm *. 1e3));
+            ("speedup", R.Float (cold /. Float.max 1e-9 warm));
+          ]
+        :: !rows)
     circuits;
-  (match Client.call c Proto.Stats with
-  | Ok (Proto.Ok_stats (_, s)) ->
-      Printf.printf
-        "\n\
-         server: %d jobs, %d cache hit(s) / %d miss(es) (%.0f%% hit rate), \
-         %d entries, %d bytes\n"
-        s.Proto.jobs_served s.Proto.result_hits s.Proto.result_misses
-        (100.0
-        *. float_of_int s.Proto.result_hits
-        /. float_of_int (max 1 (s.Proto.result_hits + s.Proto.result_misses)))
-        s.Proto.cache_entries s.Proto.cache_bytes
-  | _ -> ());
+  let server_note =
+    match Client.call c Proto.Stats with
+    | Ok (Proto.Ok_stats (_, s)) ->
+        [
+          Printf.sprintf
+            "server: %d jobs, %d cache hit(s) / %d miss(es) (%.0f%% hit \
+             rate), %d entries, %d bytes"
+            s.Proto.jobs_served s.Proto.result_hits s.Proto.result_misses
+            (100.0
+            *. float_of_int s.Proto.result_hits
+            /. float_of_int
+                 (max 1 (s.Proto.result_hits + s.Proto.result_misses)))
+            s.Proto.cache_entries s.Proto.cache_bytes;
+        ]
+    | _ -> []
+  in
   ignore (Client.call c Proto.Shutdown);
   Client.close c;
-  Domain.join d
+  Domain.join d;
+  {
+    title = "Serve: daemon cold/warm latency and cache hit rate";
+    command = "dune exec bench/main.exe -- serve";
+    columns = [ "circuit"; "cold"; "warm"; "speedup" ];
+    rows = List.rev !rows;
+    runs = List.rev !runs;
+    notes =
+      [
+        "an in-process `mfd serve` daemon on a Unix socket: every circuit \
+         is submitted twice over the same connection; the first pass fills \
+         the cross-request result cache (keyed on canonical function \
+         fingerprints), the second must be answered from the cache, so the \
+         warm latency is pure protocol + lookup cost; latency rows are \
+         load-dependent and excluded from gating";
+      ]
+      @ server_note;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches: one Test.make per table / figure           *)
 (* ------------------------------------------------------------------ *)
 
 let timing _quick =
-  hr "Timing (Bechamel): one bench per table/figure, small instances";
   let open Bechamel in
   let bench_table1 =
     Test.make ~name:"table1-row rd73 both algorithms"
@@ -610,14 +928,16 @@ let timing _quick =
       (Staged.stage (fun () ->
            let m = Bdd.manager () in
            let spec = Arith.adder m ~bits:4 in
-           ignore (run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_dc) spec)))
+           ignore
+             (run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_dc) spec)))
   in
   let bench_figure3 =
     Test.make ~name:"figure3 pm_2 gates"
       (Staged.stage (fun () ->
            let m = Bdd.manager () in
            let spec = Arith.partial_multiplier m ~n:2 in
-           ignore (run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_dc) spec)))
+           ignore
+             (run_driver m (Mulop.config_of ~lut_size:2 Mulop.Mulop_dc) spec)))
   in
   let bench_ablation =
     Test.make ~name:"ablation-cell rd84 sym-only"
@@ -643,6 +963,7 @@ let timing _quick =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -650,37 +971,169 @@ let timing _quick =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some (est :: _) -> Printf.printf "  %-40s %12.3f ms/run\n" name (est /. 1e6)
-          | Some [] | None -> Printf.printf "  %-40s (no estimate)\n" name)
+          | Some (est :: _) ->
+              rows := row name [ ("ms/run", R.Millis (est /. 1e6)) ] :: !rows
+          | Some [] | None -> rows := row name [] :: !rows)
         analysis)
     benches;
-  Printf.printf "(timings are per full decomposition run of the named instance)\n"
+  {
+    title = "Timing (Bechamel): one bench per table/figure, small instances";
+    command = "dune exec bench/main.exe -- timing";
+    columns = [ "bench"; "ms/run" ];
+    rows = List.rev !rows;
+    runs = [];
+    notes =
+      [
+        "timings are per full decomposition run of the named instance \
+         (OLS estimate over Bechamel samples); purely advisory — never \
+         part of regression gating";
+      ];
+  }
 
 (* ------------------------------------------------------------------ *)
+(* CLI and main                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let all_sections =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("figure2", figure2);
+    ("figure3", figure3);
+    ("ablation", ablation);
+    ("governor", governor);
+    ("check", check_overhead);
+    ("semantics", semantics_overhead);
+    ("robdd", robdd);
+    ("batch", batch_scaling);
+    ("serve", serve_bench);
+    ("timing", timing);
+  ]
+
+type cli = {
+  sections : string list;  (* empty = all *)
+  quick : bool;
+  out_dir : string;
+  against : string option;
+  max_regress : float;
+  json : bool;
+  render_md : string option option;  (* Some file = render FILE and exit *)
+}
+
+let usage () =
+  prerr_endline
+    "usage: bench [SECTION...] [quick] [--out DIR] [--against FILE]\n\
+    \             [--max-regress PCT] [--json] [--render-md [FILE]]\n\
+     sections: table1 table2 figure2 figure3 ablation governor check\n\
+    \          semantics robdd batch serve timing";
+  exit 2
+
+let parse_cli () =
+  let rec go acc = function
+    | [] -> acc
+    | "--" :: rest -> go acc rest
+    | "quick" :: rest -> go { acc with quick = true } rest
+    | "--out" :: dir :: rest -> go { acc with out_dir = dir } rest
+    | "--against" :: file :: rest -> go { acc with against = Some file } rest
+    | "--max-regress" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p > 0.0 -> go { acc with max_regress = p } rest
+        | _ ->
+            Printf.eprintf "bench: --max-regress needs a positive number, got %S\n" pct;
+            usage ())
+    | "--json" :: rest -> go { acc with json = true } rest
+    | "--render-md" :: file :: rest when Filename.check_suffix file ".json" ->
+        go { acc with render_md = Some (Some file) } rest
+    | "--render-md" :: rest -> go { acc with render_md = Some None } rest
+    | name :: rest when List.mem_assoc name all_sections ->
+        go { acc with sections = acc.sections @ [ name ] } rest
+    | unknown :: _ ->
+        Printf.eprintf "bench: unknown argument %S\n" unknown;
+        usage ()
+  in
+  go
+    {
+      sections = [];
+      quick = false;
+      out_dir = ".";
+      against = None;
+      max_regress = 10.0;
+      json = false;
+      render_md = None;
+    }
+    (List.tl (Array.to_list Sys.argv))
+
+let run_section name f quick =
+  section_agg := Stats.create ();
+  let p, wall, alloc = R.measure (fun () -> f quick) in
+  let s =
+    {
+      R.name;
+      title = p.title;
+      command = p.command;
+      columns = p.columns;
+      rows = p.rows;
+      runs = p.runs;
+      notes = p.notes;
+      wall;
+      alloc_bytes = alloc;
+      stats = !section_agg;
+    }
+  in
+  Format.printf "@.%a@." R.pp_section s;
+  Format.printf "%a@." Stats.pp !section_agg;
+  s
 
 let () =
-  let run name f =
-    let enabled, quick = section_enabled name in
-    if enabled then begin
-      section_stats := Stats.create ();
-      let (), dt = time (fun () -> f quick) in
-      Printf.printf "\n[%s stats] wall %.1fs\n%s\n" name dt
-        (Format.asprintf "%a" Stats.pp !section_stats)
-    end
-  in
+  let cli = parse_cli () in
+  (match cli.render_md with
+  | None -> ()
+  | Some file ->
+      let path =
+        Option.value
+          ~default:(Filename.concat cli.out_dir "BENCH_latest.json")
+          file
+      in
+      (match R.load path with
+      | Error msg ->
+          prerr_endline ("bench: " ^ msg);
+          exit 2
+      | Ok report -> print_string (R.markdown report));
+      exit 0);
   Printf.printf
     "mfd benchmark harness — reproduction of C. Scholl, \"Multi-output\n\
      Functional Decomposition with Exploitation of Don't Cares\" (DATE'98)\n";
-  run "table1" table1;
-  run "table2" table2;
-  run "figure2" figure2;
-  run "figure3" figure3;
-  run "ablation" ablation;
-  run "governor" governor;
-  run "check" check_overhead;
-  run "semantics" semantics_overhead;
-  run "robdd" robdd;
-  run "batch" batch_scaling;
-  run "serve" serve_bench;
-  run "timing" timing;
-  Printf.printf "\ndone.\n"
+  let enabled name = cli.sections = [] || List.mem name cli.sections in
+  let sections =
+    List.filter_map
+      (fun (name, f) ->
+        if enabled name then Some (run_section name f cli.quick) else None)
+      all_sections
+  in
+  let report =
+    {
+      R.schema = R.schema_version;
+      created = R.created_now ();
+      quick = cli.quick;
+      sections;
+    }
+  in
+  (match R.write ~dir:cli.out_dir report with
+  | Ok (stamped, latest) -> Printf.printf "\nwrote %s and %s\n" stamped latest
+  | Error msg ->
+      prerr_endline ("bench: cannot write report: " ^ msg);
+      exit 2);
+  match cli.against with
+  | None -> print_endline "done."
+  | Some path -> (
+      match R.load path with
+      | Error msg ->
+          prerr_endline ("bench: " ^ msg);
+          exit 2
+      | Ok base ->
+          let v =
+            R.diff ~base ~current:report ~max_regress:cli.max_regress
+          in
+          if cli.json then print_endline (Json.to_string (R.verdict_to_json v))
+          else Format.printf "%a@." R.pp_verdict v;
+          if not (R.verdict_ok v) then exit 1)

@@ -161,7 +161,19 @@ let run_cmd =
             "Print decomposition statistics (score-cache hit rates, \
              cofactor-vector reuse, per-phase wall time) after the run.")
   in
-  let run target algorithm lut_size out_blif out_dot verify verbose stats
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one machine-readable JSON object in the bench-report run \
+             schema ($(b,bench_schema) 1): LUT/CLB/depth counts, wall time, \
+             allocated bytes, live BDD nodes and the full statistics \
+             counters — the same shape the bench harness writes into \
+             $(b,BENCH_*.json).  Suppresses the text summary; file outputs \
+             and exit codes are unchanged.")
+  in
+  let run target algorithm lut_size out_blif out_dot verify verbose stats json
       checks timeout node_budget effort =
     setup_logs verbose;
     let run_stats = Stats.create () in
@@ -181,11 +193,15 @@ let run_cmd =
         exit 1
     | spec, name ->
         let budget = make_budget timeout node_budget effort ~stats:run_stats () in
-        let outcome =
-          Mulop.run ~lut_size ~budget ~checks ~stats:run_stats m algorithm spec
+        let outcome, wall, alloc =
+          Bench_report.measure (fun () ->
+              Mulop.run ~lut_size ~budget ~checks ~stats:run_stats m algorithm
+                spec)
         in
-        Format.printf "%s: %a@." name Mulop.pp_outcome outcome;
-        if stats then Format.printf "%a@." Stats.pp run_stats;
+        let verified =
+          if verify then Some (Driver.verify m spec outcome.Mulop.network)
+          else None
+        in
         (match out_blif with
         | Some path -> Blif.write_file ~model:name path outcome.Mulop.network
         | None -> ());
@@ -195,20 +211,55 @@ let run_cmd =
             output_string oc (Network.to_dot outcome.Mulop.network);
             close_out oc
         | None -> ());
-        if verify then
-          if Driver.verify m spec outcome.Mulop.network then
-            Format.printf "verify: OK (network realizes the specification)@."
-          else begin
-            Format.printf "verify: FAILED@.";
-            exit 1
-          end;
-        report_findings outcome.Mulop.findings
+        if json then begin
+          (* budgeted runs are wall-clock-governed, so their counters are
+             not reproducible: mark them unstable for baseline diffing *)
+          let r =
+            {
+              Bench_report.name;
+              algorithm = Mulop.algorithm_name algorithm;
+              stable = timeout = None && node_budget = None;
+              wall;
+              alloc_bytes = alloc;
+              luts = Some outcome.Mulop.lut_count;
+              clbs = Some outcome.Mulop.clb_count;
+              depth = Some outcome.Mulop.depth;
+              bdd_nodes = Some (Bdd.node_count m);
+              stats = run_stats;
+            }
+          in
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  ([
+                     ("bench_schema", Json.int Bench_report.schema_version);
+                     ("run", Bench_report.run_to_json r);
+                   ]
+                  @
+                  match verified with
+                  | None -> []
+                  | Some ok -> [ ("verified", Json.Bool ok) ])));
+          if verified = Some false then exit 1;
+          if Diagnostic.errors outcome.Mulop.findings <> [] then exit 1
+        end
+        else begin
+          Format.printf "%s: %a@." name Mulop.pp_outcome outcome;
+          if stats then Format.printf "%a@." Stats.pp run_stats;
+          (match verified with
+          | Some true ->
+              Format.printf "verify: OK (network realizes the specification)@."
+          | Some false ->
+              Format.printf "verify: FAILED@.";
+              exit 1
+          | None -> ());
+          report_findings outcome.Mulop.findings
+        end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Decompose a benchmark or file into a LUT network.")
     Term.(
       const run $ target $ algorithm $ lut_size $ out_blif $ out_dot $ verify
-      $ verbose $ stats $ check_arg $ timeout_arg $ node_budget_arg
+      $ verbose $ stats $ json $ check_arg $ timeout_arg $ node_budget_arg
       $ effort_arg)
 
 let list_cmd =

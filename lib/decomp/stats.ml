@@ -126,6 +126,99 @@ let mark ck name =
   add_phase ck.stats name dt;
   dt
 
+(* ---- JSON projection (the per-run object of the bench schema) ----
+
+   Emission and parsing live together so the schema cannot drift
+   silently: [of_json (to_json t)] is the round-trip property the
+   bench-report tests pin down.  Unknown fields are ignored and
+   missing counters default to zero, so a newer reader accepts an
+   older run object. *)
+
+let counter_fields =
+  (* name, getter, setter — one list drives to_json, of_json and the
+     bench diff's notion of "every counter". *)
+  [
+    ("score_calls", (fun t -> t.score_calls), fun t v -> t.score_calls <- v);
+    ("score_hits", (fun t -> t.score_hits), fun t v -> t.score_hits <- v);
+    ("cof_lookups", (fun t -> t.cof_lookups), fun t v -> t.cof_lookups <- v);
+    ("cof_hits", (fun t -> t.cof_hits), fun t v -> t.cof_hits <- v);
+    ("cof_extends", (fun t -> t.cof_extends), fun t v -> t.cof_extends <- v);
+    ("cof_fresh", (fun t -> t.cof_fresh), fun t v -> t.cof_fresh <- v);
+    ("restricts", (fun t -> t.restricts), fun t v -> t.restricts <- v);
+    ("retains", (fun t -> t.retains), fun t v -> t.retains <- v);
+    ("evicted", (fun t -> t.evicted), fun t v -> t.evicted <- v);
+    ("budget_checks", (fun t -> t.budget_checks), fun t v -> t.budget_checks <- v);
+    ("result_hits", (fun t -> t.result_hits), fun t v -> t.result_hits <- v);
+    ("result_misses", (fun t -> t.result_misses), fun t v -> t.result_misses <- v);
+    ("sem_nodes", (fun t -> t.sem_nodes), fun t v -> t.sem_nodes <- v);
+    ("sem_truncations", (fun t -> t.sem_truncations), fun t v -> t.sem_truncations <- v);
+  ]
+
+let counter_names = List.map (fun (name, _, _) -> name) counter_fields
+
+let counter t name =
+  match List.find_opt (fun (n, _, _) -> n = name) counter_fields with
+  | Some (_, get, _) -> get t
+  | None -> invalid_arg (Printf.sprintf "Stats.counter: unknown counter %S" name)
+
+let to_json t =
+  let event (a, b, c) ka kb kc =
+    Json.Obj [ (ka, Json.Str a); (kb, Json.Str b); (kc, Json.Str c) ]
+  in
+  let phases =
+    Hashtbl.fold (fun name dt acc -> (name, dt) :: acc) t.phases []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (name, dt) -> (name, Json.Num dt))
+  in
+  Json.Obj
+    (List.map (fun (name, get, _) -> (name, Json.int (get t))) counter_fields
+    @ [
+        ( "degradations",
+          Json.Arr
+            (List.map
+               (fun d -> event d "stage" "reason" "where")
+               (degradations t)) );
+        ( "findings",
+          Json.Arr
+            (List.map
+               (fun f -> event f "severity" "code" "message")
+               (findings t)) );
+        ("phases", Json.Obj phases);
+      ])
+
+let of_json j =
+  match j with
+  | Json.Obj _ ->
+      let t = create () in
+      List.iter
+        (fun (name, _, set) ->
+          set t (Option.value ~default:0 (Json.mem_int name j)))
+        counter_fields;
+      let events key ka kb kc add =
+        List.iter
+          (fun e ->
+            match (Json.mem_str ka e, Json.mem_str kb e, Json.mem_str kc e) with
+            | Some a, Some b, Some c -> add a b c
+            | _ -> ())
+          (Option.value ~default:[] (Json.mem_list key j))
+      in
+      (* add_* prepend, so feed events in order to keep newest-first. *)
+      events "degradations" "stage" "reason" "where" (fun stage reason where ->
+          add_degradation t ~stage ~reason ~where);
+      events "findings" "severity" "code" "message" (fun severity code message ->
+          add_finding t ~severity ~code ~message);
+      (match Json.member "phases" j with
+      | Some (Json.Obj fields) ->
+          List.iter
+            (fun (name, v) ->
+              match Json.to_float v with
+              | Some dt -> add_phase t name dt
+              | None -> ())
+            fields
+      | _ -> ());
+      Ok t
+  | _ -> Error "stats must be a JSON object"
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>score calls %d, memo hits %d (%.1f%%)@,\

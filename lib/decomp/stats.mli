@@ -91,4 +91,29 @@ val mark : clock -> string -> float
     {!clock}) into phase [name] and returns it.  Clocks read
     {!Mono.now}, so phase durations are immune to wall-clock steps. *)
 
+(** {1 JSON projection}
+
+    The per-run statistics object of the bench schema
+    ([bench_schema] 1): every counter under its field name, plus
+    ["degradations"], ["findings"] and ["phases"].  {!Bench_report}
+    embeds this object verbatim in [BENCH_*.json]; [mfd run --json]
+    emits the same shape, so one reader handles both. *)
+
+val counter_names : string list
+(** Field names of all integer counters, in schema order.  The bench
+    diff iterates this list, so a counter added to {!t} (and to the
+    internal field table) is gated automatically. *)
+
+val counter : t -> string -> int
+(** Read a counter by its schema field name.
+    @raise Invalid_argument on names not in {!counter_names}. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Tolerant inverse of {!to_json}: unknown fields are ignored and
+    missing counters default to [0], so a newer reader accepts run
+    objects written by an older schema.  Errors only on a value that
+    is not a JSON object. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,161 @@
+(** Machine-readable bench reports ([BENCH_*.json]): one schema shared
+    by the bench harness, [mfd run --json] and the CI perf gate.
+
+    The design premise is that on the single-core container wall-clock
+    time is too noisy to gate on, while the engine's own counters
+    ({!Stats}), [Gc.allocated_bytes] and the LUT/CLB quality numbers
+    are deterministic for a fixed input.  A report therefore carries
+    both kinds of data but {!diff} only *gates* on the deterministic
+    ("stable") metrics; wall-clock changes are reported as advisories.
+
+    Every emitter stamps {!schema_version} under the key
+    ["bench_schema"]; {!of_json} checks it before anything else, so a
+    reader meeting a future schema fails with a clean message instead
+    of misinterpreting fields. *)
+
+val schema_version : int
+
+(** {1 Report structure} *)
+
+(** A typed table cell.  The tag survives the JSON round trip, so
+    renderers (text, markdown) format a reloaded report exactly like a
+    fresh one. *)
+type value =
+  | Int of int
+  | Float of float
+  | Secs of float  (** duration, rendered as seconds *)
+  | Millis of float  (** duration, rendered as milliseconds *)
+  | Pct of float  (** ratio in percent, [12.5] renders as [12.5%] *)
+  | Str of string
+
+type run = {
+  name : string;  (** circuit or workload name, e.g. ["duke2"] *)
+  algorithm : string;
+      (** algorithm or variant label; part of the {!diff} match key, so
+          one circuit may appear once per algorithm in a section *)
+  stable : bool;
+      (** [false] exempts this run from gating — set for runs whose
+          counters depend on elapsed time (timeout-governed, threaded) *)
+  wall : float;  (** monotonic wall time, seconds — advisory only *)
+  alloc_bytes : float;
+      (** [Gc.allocated_bytes] delta — the stable stand-in for time *)
+  luts : int option;
+  clbs : int option;
+  depth : int option;
+  bdd_nodes : int option;
+      (** live BDD nodes after the run, when the workload exposes it *)
+  stats : Stats.t;
+}
+
+(** One rendered table row: a label plus named cells.  Rows are what
+    the text and markdown renderers show; {!run}s are what {!diff}
+    gates on.  Sections carry both so display formatting can change
+    without touching the gate. *)
+type row = { label : string; cells : (string * value) list }
+
+type section = {
+  name : string;  (** the bench CLI section name, e.g. ["table1"] *)
+  title : string;
+  command : string;
+      (** exact command that (re)produces this section's data — printed
+          with every rendered table *)
+  columns : string list;
+      (** column headers; the first names the row-label column *)
+  rows : row list;
+  runs : run list;
+  notes : string list;
+  wall : float;
+  alloc_bytes : float;
+  stats : Stats.t;  (** merge of all per-run stats in the section *)
+}
+
+type report = {
+  schema : int;
+  created : string;  (** UTC timestamp, [YYYY-MM-DDThh:mm:ssZ] *)
+  quick : bool;  (** produced under the bench [quick] flag *)
+  sections : section list;
+}
+
+(** {1 Measurement} *)
+
+val measure : (unit -> 'a) -> 'a * float * float
+(** [measure f] runs [f] and returns [(result, wall_seconds,
+    alloc_bytes)].  Wall time is {!Mono.now}-based; allocation is the
+    [Gc.allocated_bytes] delta, which is deterministic for a fixed
+    workload and hence gateable. *)
+
+val created_now : unit -> string
+(** Current UTC time in the {!report.created} format. *)
+
+(** {1 JSON} *)
+
+val run_to_json : run -> Json.t
+val run_of_json : Json.t -> (run, string) result
+
+val to_json : report -> Json.t
+
+val of_json : Json.t -> (report, string) result
+(** Checks ["bench_schema"] first: missing or mismatched versions are
+    an [Error] naming both versions, never a misparse. *)
+
+val load : string -> (report, string) result
+(** Read and parse a [BENCH_*.json] file. *)
+
+val write : dir:string -> report -> (string * string, string) result
+(** Persist a report as [BENCH_<stamp>.json] (stamp derived from
+    {!report.created}) and [BENCH_latest.json] in [dir].  Returns both
+    paths, timestamped first. *)
+
+(** {1 Rendering} *)
+
+val value_to_string : value -> string
+
+val pp_section : Format.formatter -> section -> unit
+(** Console rendering: title, aligned table, notes, wall/alloc
+    footer.  The bench harness prints sections only through this, so
+    text output and JSON come from the same structure. *)
+
+val section_markdown : section -> string
+(** GitHub-flavoured markdown: heading, a provenance line naming
+    {!section.command}, the table, notes. *)
+
+val markdown : report -> string
+(** All sections of the report as markdown, for
+    [bench --render-md]. *)
+
+(** {1 Baseline diffing} *)
+
+type delta = {
+  d_section : string;
+  d_run : string;  (** ["name/algorithm"] *)
+  metric : string;
+  base : float;
+  current : float;
+  change_pct : float;  (** signed; positive means the metric grew *)
+}
+
+type verdict = {
+  threshold : float;  (** the [max_regress] percentage used *)
+  regressions : delta list;
+      (** stable metrics that grew beyond threshold + noise floor *)
+  improvements : delta list;
+      (** stable metrics that shrank beyond the same margin *)
+  advisories : delta list;
+      (** wall-clock changes (either direction) — never gate *)
+  missing : string list;
+      (** sections/runs present in base but absent in current: coverage
+          loss is a regression *)
+}
+
+val diff : base:report -> current:report -> max_regress:float -> verdict
+(** Match runs by (section name, run name, algorithm).  Gate on LUT and
+    CLB counts, [alloc_bytes], [bdd_nodes] and every {!Stats} counter
+    ({!Stats.counter_names}); each metric has an absolute noise floor
+    so a ±1 blip on a tiny counter cannot fail CI.  Runs with
+    [stable = false] only produce advisories. *)
+
+val verdict_ok : verdict -> bool
+(** [true] iff no regressions and no missing coverage. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val verdict_to_json : verdict -> Json.t

@@ -1,12 +1,13 @@
 (** Wire protocol of the decomposition daemon ([mfd serve]).
 
     One request or response is one JSON object inside one
-    length-prefixed frame ({!Frame}).  The JSON implementation is a
-    self-contained recursive-descent parser and printer — the protocol
-    must not pull a JSON dependency into the library graph, and the
-    daemon needs full control over rejection behaviour (depth bound,
-    trailing garbage, malformed escapes) because a hostile frame must
-    produce an error response, never kill the server.
+    length-prefixed frame ({!Frame}).  The JSON implementation is the
+    repository's shared {!Json} codec (hand-rolled recursive-descent
+    parser and printer, re-exported here) — the protocol must not pull
+    an external JSON dependency into the library graph, and the daemon
+    needs full control over rejection behaviour (depth bound, trailing
+    garbage, malformed escapes) because a hostile frame must produce
+    an error response, never kill the server.
 
     The guarantee backing every accessor in this module: a served
     decomposition is the result the CLI would have produced for the
@@ -17,7 +18,7 @@
 
 (** {1 JSON} *)
 
-type json =
+type json = Json.t =
   | Null
   | Bool of bool
   | Num of float

@@ -18,4 +18,5 @@ let () =
       ("check", Test_check.suite);
       ("semantics", Test_semantics.suite);
       ("serve", Test_serve.suite);
+      ("bench-report", Test_bench_report.suite);
     ]
