@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- quick    -- skip the slowest circuits
 
    Sections: table1 table2 figure2 figure3 ablation governor check
-   semantics robdd batch serve timing
+   semantics optimize robdd batch serve timing
 
    Every run emits BENCH_<stamp>.json and BENCH_latest.json
    (Bench_report schema): per-section and per-run wall time, the
@@ -612,6 +612,100 @@ let semantics_overhead quick =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Optimize: the verified DC-driven rewrite loop                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two fixed networks carrying redundancy only the semantic analysis
+   can see (the examples/circuits/dc_dups.blif and dc_dead.blif
+   stories): e and n are complements, so LUTs over (e, n) never see the
+   codes 00 and 11. *)
+let redundant_nets () =
+  let tt bits =
+    let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+    Bv.of_fun (log2 (String.length bits)) (fun i -> bits.[i] = '1')
+  in
+  let dups =
+    let net = Network.create () in
+    let a = Network.add_input net "a"
+    and b = Network.add_input net "b"
+    and c = Network.add_input net "c" in
+    let e = Network.add_lut net ~fanins:[ a; b ] ~tt:(tt "1001") in
+    let n = Network.add_lut net ~fanins:[ a; b ] ~tt:(tt "0110") in
+    let p = Network.add_lut net ~fanins:[ e; n ] ~tt:(tt "0100") in
+    let q = Network.add_lut net ~fanins:[ e; n ] ~tt:(tt "1101") in
+    Network.set_output net "x" (Network.and_gate net p c);
+    Network.set_output net "y" (Network.or_gate net q c);
+    net
+  in
+  let dead =
+    let net = Network.create () in
+    let a = Network.add_input net "a"
+    and b = Network.add_input net "b"
+    and c = Network.add_input net "c" in
+    let e = Network.add_lut net ~fanins:[ a; b ] ~tt:(tt "1001") in
+    let n = Network.add_lut net ~fanins:[ a; b ] ~tt:(tt "0110") in
+    let d = Network.add_lut net ~fanins:[ e; n ] ~tt:(tt "0001") in
+    Network.set_output net "f"
+      (Network.add_lut net ~fanins:[ d; c ] ~tt:(tt "0010"));
+    Network.set_output net "g" (Network.and_gate net e c);
+    net
+  in
+  [ ("dc_dups", dups); ("dc_dead", dead) ]
+
+let optimize_bench quick =
+  let rows = ref [] and runs = ref [] in
+  let one name net =
+    let m = Bdd.manager () in
+    let o, wall, alloc, stats =
+      with_run_stats (fun () -> Optimize.run ~stats:!section_stats m net)
+    in
+    (* the audit guard is the whole point: a kept outcome is equivalent *)
+    assert (o.Optimize.audit = []);
+    assert (o.Optimize.luts_after <= o.Optimize.luts_before);
+    runs :=
+      mk_run ~algorithm:"optimize" ~wall ~alloc ~stats
+        ~luts:o.Optimize.luts_after ~clbs:o.Optimize.clbs_after name
+      :: !runs;
+    rows :=
+      row name
+        [
+          ("luts", R.Int o.Optimize.luts_before);
+          ("opt", R.Int o.Optimize.luts_after);
+          ("clbs", R.Int o.Optimize.clbs_before);
+          ("opt-clbs", R.Int o.Optimize.clbs_after);
+          ("rewrites", R.Int (List.length o.Optimize.actions));
+          ("time", R.Secs wall);
+        ]
+      :: !rows
+  in
+  List.iter (fun (name, net) -> one name net) (redundant_nets ());
+  List.iter
+    (fun name ->
+      let e = Mcnc.find name in
+      let m = Bdd.manager () in
+      let spec = e.Mcnc.build m in
+      let out = Mulop.run ~stats:(Stats.create ()) m Mulop.Mulop_dc spec in
+      one name out.Mulop.network)
+    (check_circuits quick);
+  {
+    title = "Optimize: verified DC-driven rewrite loop";
+    command = "dune exec bench/main.exe -- optimize";
+    columns = [ "circuit"; "luts"; "opt"; "clbs"; "opt-clbs"; "rewrites"; "time" ];
+    rows = List.rev !rows;
+    runs = List.rev !runs;
+    notes =
+      [
+        "dc_dups / dc_dead are the redundant example networks (semantic \
+         duplicates and a constant cone hidden behind complemented \
+         reconvergence); the MCNC rows optimize the mulop-dc output, \
+         which is usually already tight";
+        "every outcome is audit-guarded: the section asserts care-set \
+         equivalence and a non-increasing LUT count, so a regression \
+         here fails the bench itself, not just the gate";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Extension: ROBDD sizes under symmetrization + symmetric sifting.    *)
 (* Step 1 of the paper's DC concept comes from Scholl/Melchior/Hotz/   *)
 (* Molitor (EDTC'97), whose own experiment is ROBDD-size reduction of  *)
@@ -1004,6 +1098,7 @@ let all_sections =
     ("governor", governor);
     ("check", check_overhead);
     ("semantics", semantics_overhead);
+    ("optimize", optimize_bench);
     ("robdd", robdd);
     ("batch", batch_scaling);
     ("serve", serve_bench);

@@ -512,7 +512,36 @@ let lint_cmd =
              than hanging.  Requires the structural passes to be clean.  \
              Ignored for $(b,.pla) files.")
   in
-  let lint target lut_size json codes no_style deep =
+  let sem_nodes =
+    Arg.(
+      value
+      & opt int 4_000_000
+      & info [ "sem-nodes" ] ~docv:"N"
+          ~doc:
+            "BDD-node budget for the exact semantic engine under \
+             $(b,--deep).  When the exact analysis exceeds it, the \
+             windowed SAT engine finishes the remaining nodes.")
+  in
+  let sem_timeout =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "sem-timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget for the exact semantic engine under \
+                $(b,--deep).")
+  in
+  let no_sat =
+    Arg.(
+      value & flag
+      & info [ "no-sat" ]
+          ~doc:
+            "Disable the windowed SAT fallback under $(b,--deep): when \
+             the exact engine's budget runs out the analysis is \
+             truncated ($(b,SEM008)) instead of completed through \
+             windows.  Mainly useful to compare the two engines.")
+  in
+  let lint target lut_size json codes no_style deep sem_nodes sem_timeout
+      no_sat =
     setup_logs false;
     if codes then begin
       List.iter
@@ -537,21 +566,28 @@ let lint_cmd =
         if deep && Diagnostic.errors structural = [] then begin
           (* The semantic passes need a traversable network and global
              BDDs; a generous default budget keeps the command
-             interactive on pathological inputs. *)
+             interactive on pathological inputs, and the windowed SAT
+             fallback covers what the exact engine's budget cannot. *)
           let m = Bdd.manager () in
           let var_of_input =
             let tbl = Hashtbl.create 16 in
             List.iteri (fun k (name, _) -> Hashtbl.add tbl name k) (Network.inputs net);
             fun name -> Hashtbl.find tbl name
           in
-          let check = Careflow.limiter ~max_nodes:4_000_000 ~timeout:30.0 m () in
-          structural @ Semantics.analyze ~check m ~var_of_input net
+          let check =
+            Careflow.limiter ~max_nodes:sem_nodes ~timeout:sem_timeout m ()
+          in
+          let report =
+            Semantics.analyze_report ~sat_fallback:(not no_sat) ~check m
+              ~var_of_input net
+          in
+          (structural @ report.Semantics.findings, Some report.Semantics.coverage)
         end
-        else structural
+        else (structural, None)
       end
       else if Filename.check_suffix target ".pla" then
         let pla = Pla.parse_file target in
-        Pla_check.analyze (Bdd.manager ()) pla
+        (Pla_check.analyze (Bdd.manager ()) pla, None)
       else begin
         Printf.eprintf "mfd lint: %s: expected a .blif or .pla file\n" target;
         exit 3
@@ -567,9 +603,38 @@ let lint_cmd =
     | exception Pla.Parse_error (line, msg) ->
         Printf.eprintf "%s:%d: %s\n" target line msg;
         exit 3
-    | findings ->
-        if json then print_string (Diagnostic.to_json findings)
-        else Format.printf "%a@." Diagnostic.pp_list findings;
+    | findings, coverage ->
+        (* Analyzer coverage rides along so a script can tell a clean
+           report from a mostly-skipped one. *)
+        let extra =
+          match coverage with
+          | None -> []
+          | Some c ->
+              [
+                ( "coverage",
+                  Printf.sprintf
+                    "{\"exact_nodes\":%d,\"windowed_nodes\":%d,\
+                     \"truncated_nodes\":%d,\"total_nodes\":%d,\
+                     \"sat_calls\":%d,\"sat_conflicts\":%d,\
+                     \"windows_built\":%d}"
+                    c.Semantics.exact_nodes c.Semantics.windowed_nodes
+                    c.Semantics.truncated_nodes c.Semantics.total_nodes
+                    c.Semantics.sat_calls c.Semantics.sat_conflicts
+                    c.Semantics.windows_built );
+              ]
+        in
+        if json then print_string (Diagnostic.to_json ~extra findings)
+        else begin
+          Format.printf "%a@." Diagnostic.pp_list findings;
+          match coverage with
+          | Some c ->
+              Format.printf
+                "analyzer coverage: %d/%d node(s) exact, %d via windows, %d \
+                 truncated@."
+                c.Semantics.exact_nodes c.Semantics.total_nodes
+                c.Semantics.windowed_nodes c.Semantics.truncated_nodes
+          | None -> ()
+        end;
         exit (Diagnostic.exit_code findings)
   in
   Cmd.v
@@ -584,7 +649,9 @@ let lint_cmd =
            `P "$(b,2) when Warnings but no Errors are present;";
            `P "$(b,3) on parse or I/O failure.";
          ])
-    Term.(const lint $ target $ lut_size $ json $ codes $ no_style $ deep)
+    Term.(
+      const lint $ target $ lut_size $ json $ codes $ no_style $ deep
+      $ sem_nodes $ sem_timeout $ no_sat)
 
 let audit_cmd =
   let golden =
@@ -615,7 +682,23 @@ let audit_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit findings as JSON instead of text.")
   in
-  let audit golden candidate pla json =
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("bdd", `Bdd); ("sat", `Sat) ]) `Bdd
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Proof engine: $(b,bdd) (default) builds global BDDs over a \
+             shared input space; $(b,sat) Tseitin-encodes both networks \
+             into one CNF and solves a gated miter per output with the \
+             CDCL solver — no global BDDs, so it scales where the BDD \
+             engine blows up, and a per-output conflict budget turns \
+             blow-up into an explicit $(b,SEM008) unknown instead of a \
+             hang.  With $(b,--pla), the SAT engine supports $(b,.type f) \
+             and $(b,fd) specifications (don't-care rows become blocked \
+             cubes); use the BDD engine for $(b,fr)/$(b,fdr).")
+  in
+  let audit golden candidate pla json engine =
     setup_logs false;
     let m = Bdd.manager () in
     let run () =
@@ -645,29 +728,115 @@ let audit_cmd =
       in
       List.iter (fun (name, _) -> bind name) (Network.inputs g_net);
       List.iter (fun (name, _) -> bind name) (Network.inputs c_net);
-      let care_of_output =
-        match pla with
-        | None -> None
-        | Some path ->
-            let p = Pla.parse_file path in
-            List.iter bind p.Pla.input_names;
-            let cols = Array.of_list p.Pla.input_names in
-            let isfs =
-              Pla.to_isfs m
-                ~var_of_column:(fun k -> Hashtbl.find var_tbl cols.(k))
-                p
+      let common_outputs =
+        List.filter
+          (fun (name, _) -> List.mem_assoc name (Network.outputs c_net))
+          (Network.outputs g_net)
+      in
+      let union_outputs =
+        List.length (Network.outputs g_net)
+        + List.length (Network.outputs c_net)
+        - List.length common_outputs
+      in
+      let findings, coverage =
+        match engine with
+        | `Bdd ->
+            let care_of_output =
+              match pla with
+              | None -> None
+              | Some path ->
+                  let p = Pla.parse_file path in
+                  List.iter bind p.Pla.input_names;
+                  let cols = Array.of_list p.Pla.input_names in
+                  let isfs =
+                    Pla.to_isfs m
+                      ~var_of_column:(fun k -> Hashtbl.find var_tbl cols.(k))
+                      p
+                  in
+                  Some
+                    (fun name ->
+                      match List.assoc_opt name isfs with
+                      | Some isf -> Isf.care m isf
+                      | None -> Bdd.one m)
             in
-            Some
-              (fun name ->
-                match List.assoc_opt name isfs with
-                | Some isf -> Isf.care m isf
-                | None -> Bdd.one m)
+            let findings =
+              Semantics.audit ?care_of_output m ~inputs:(List.rev !inputs)
+                ~golden:g_net ~candidate:c_net
+            in
+            let missing = union_outputs - List.length common_outputs in
+            let refuted = List.length findings - missing in
+            ( findings,
+              Printf.sprintf
+                "{\"engine\":\"bdd\",\"outputs_checked\":%d,\
+                 \"outputs_proved\":%d,\"outputs_refuted\":%d,\
+                 \"outputs_unknown\":0,\"outputs_missing\":%d}"
+                union_outputs
+                (List.length common_outputs - refuted)
+                refuted missing )
+        | `Sat ->
+            let dc_cubes_of_output =
+              match pla with
+              | None -> None
+              | Some path ->
+                  let p = Pla.parse_file path in
+                  (match p.Pla.kind with
+                  | `F | `Fd -> ()
+                  | `Fr | `Fdr ->
+                      Printf.eprintf
+                        "mfd audit: --engine sat supports .type f/fd \
+                         specifications only (the dc-set of %s is not a cube \
+                         list); use --engine bdd\n"
+                        path;
+                      exit 3);
+                  let names = Array.of_list p.Pla.input_names in
+                  let outs = Array.of_list p.Pla.output_names in
+                  let cubes = Array.make (Array.length outs) [] in
+                  List.iter
+                    (fun (cube, out_plane) ->
+                      Array.iteri
+                        (fun j ch ->
+                          if ch = '-' then
+                            let lits =
+                              List.filter_map Fun.id
+                                (Array.to_list
+                                   (Array.mapi
+                                      (fun k lit ->
+                                        match lit with
+                                        | Cover.L0 -> Some (names.(k), false)
+                                        | Cover.L1 -> Some (names.(k), true)
+                                        | Cover.Ldash -> None)
+                                      cube))
+                            in
+                            cubes.(j) <- lits :: cubes.(j))
+                        out_plane)
+                    p.Pla.rows;
+                  let table = Hashtbl.create 8 in
+                  Array.iteri
+                    (fun j name -> Hashtbl.replace table name (List.rev cubes.(j)))
+                    outs;
+                  Some
+                    (fun name ->
+                      Option.value ~default:[] (Hashtbl.find_opt table name))
+            in
+            let a =
+              Semantics.audit_sat ?dc_cubes_of_output ~golden:g_net
+                ~candidate:c_net
+                (List.rev_map fst !inputs)
+            in
+            ( a.Semantics.audit_findings,
+              Printf.sprintf
+                "{\"engine\":\"sat\",\"outputs_checked\":%d,\
+                 \"outputs_proved\":%d,\"outputs_refuted\":%d,\
+                 \"outputs_unknown\":%d,\"outputs_missing\":%d,\
+                 \"sat_calls\":%d,\"sat_conflicts\":%d}"
+                union_outputs a.Semantics.outputs_proved
+                a.Semantics.outputs_refuted a.Semantics.outputs_unknown
+                (union_outputs - List.length common_outputs)
+                a.Semantics.audit_sat_calls a.Semantics.audit_sat_conflicts )
       in
-      let findings =
-        Semantics.audit ?care_of_output m ~inputs:(List.rev !inputs)
-          ~golden:g_net ~candidate:c_net
-      in
-      if json then print_string (Diagnostic.to_json findings)
+      if json then
+        print_string
+          (Diagnostic.to_json ~extra:[ ("coverage", coverage) ] findings)
       else if findings = [] then
         Format.printf "equivalent%s@."
           (if pla = None then "" else " modulo the specification's don't cares")
@@ -704,15 +873,237 @@ let audit_cmd =
               accepts any network that realizes an extension of the \
               incompletely specified function, which is exactly the \
               contract of the decomposition engine.  Each disagreement is \
-              reported as a SEM007 finding with a counterexample minterm.";
+              reported as a SEM007 finding with a counterexample minterm.  \
+              $(b,--engine sat) proves the same obligations with the CDCL \
+              solver on a per-output miter instead of global BDDs.";
            `S Manpage.s_exit_status;
            `P "$(b,0) when the networks are equivalent modulo the care set;";
-           `P "$(b,1) when any output disagrees inside the care set (or is \
-               missing on either side);";
+           `P "$(b,1) when any output disagrees inside the care set, is \
+               missing on either side, or (SAT engine) the solver budget \
+               left a verdict unknown;";
            `P "$(b,3) on parse or I/O failure, or a structurally broken \
                input network.";
          ])
-    Term.(const audit $ golden $ candidate $ pla $ json)
+    Term.(const audit $ golden $ candidate $ pla $ json $ engine)
+
+let optimize_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"The network to optimize ($(b,.blif)).")
+  in
+  let pla =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pla" ] ~docv:"SPEC"
+          ~doc:
+            "A $(b,.pla) specification whose don't-care plane defines the \
+             care set: rewrites may change output functions outside it, \
+             and the guarding audit only demands agreement inside it.  \
+             Without it every minterm is cared for.")
+  in
+  let out_blif =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output-blif" ] ~docv:"FILE"
+          ~doc:"Write the optimized network as BLIF.")
+  in
+  let passes =
+    Arg.(
+      value & opt int 4
+      & info [ "passes" ] ~docv:"N"
+          ~doc:"Maximum analyze/rewrite/audit iterations.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("bdd", `Bdd); ("sat", `Sat) ]) `Bdd
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Audit engine guarding each rewrite pass: $(b,bdd) (default) \
+             is the care-set-aware BDD audit; $(b,sat) uses the CDCL \
+             miter — stricter (it ignores $(b,--pla) and demands full \
+             equivalence) but immune to BDD blow-up on big networks.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one machine-readable JSON object instead of the summary.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print analysis statistics (SAT calls, windows) after the run.")
+  in
+  let optimize target pla out_blif passes engine json stats =
+    setup_logs false;
+    let m = Bdd.manager () in
+    let run () =
+      let net = Blif.parse_file target in
+      let errors = Diagnostic.errors (Net_check.analyze ~style:false net) in
+      if errors <> [] then begin
+        Printf.eprintf "mfd optimize: %s is structurally broken:\n" target;
+        Format.eprintf "%a@." Diagnostic.pp_list errors;
+        exit 3
+      end;
+      (* The care set must live in the optimizer's input variable space:
+         input [k] of the network is BDD variable [k]. *)
+      let care_of_output =
+        match pla with
+        | None -> None
+        | Some path ->
+            let p = Pla.parse_file path in
+            let index_of =
+              let tbl = Hashtbl.create 16 in
+              List.iteri
+                (fun k (name, _) -> Hashtbl.replace tbl name k)
+                (Network.inputs net);
+              tbl
+            in
+            let cols = Array.of_list p.Pla.input_names in
+            Array.iter
+              (fun name ->
+                if not (Hashtbl.mem index_of name) then begin
+                  Printf.eprintf
+                    "mfd optimize: specification input %s is not an input of \
+                     %s\n"
+                    name target;
+                  exit 3
+                end)
+              cols;
+            let isfs =
+              Pla.to_isfs m
+                ~var_of_column:(fun k -> Hashtbl.find index_of cols.(k))
+                p
+            in
+            Some
+              (fun name ->
+                match List.assoc_opt name isfs with
+                | Some isf -> Isf.care m isf
+                | None -> Bdd.one m)
+      in
+      let run_stats = Stats.create () in
+      let o =
+        Optimize.run ?care_of_output ~max_passes:passes ~audit_engine:engine
+          ~stats:run_stats m net
+      in
+      (match out_blif with
+      | Some path ->
+          Blif.write_file
+            ~model:(Filename.remove_extension (Filename.basename target))
+            path o.Optimize.network
+      | None -> ());
+      if json then begin
+        let action a =
+          Json.Obj
+            [
+              ("rule", Json.Str (Optimize.rule_name a.Optimize.rule));
+              ("node", Json.Str a.Optimize.node);
+              ("detail", Json.Str a.Optimize.detail);
+            ]
+        in
+        let finding (f : Diagnostic.t) =
+          Json.Obj
+            [
+              ("code", Json.Str f.Diagnostic.code);
+              ( "severity",
+                Json.Str (Diagnostic.severity_name f.Diagnostic.severity) );
+              ( "loc",
+                match f.Diagnostic.loc with
+                | Some l -> Json.Str l
+                | None -> Json.Null );
+              ("message", Json.Str f.Diagnostic.message);
+            ]
+        in
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("file", Json.Str target);
+                  ("luts_before", Json.int o.Optimize.luts_before);
+                  ("luts_after", Json.int o.Optimize.luts_after);
+                  ("clbs_before", Json.int o.Optimize.clbs_before);
+                  ("clbs_after", Json.int o.Optimize.clbs_after);
+                  ("passes", Json.int o.Optimize.passes);
+                  ("reverted", Json.int o.Optimize.reverted);
+                  ("actions", Json.Arr (List.map action o.Optimize.actions));
+                  ("equivalent", Json.Bool (o.Optimize.audit = []));
+                  ( "findings",
+                    Json.Arr (List.map finding o.Optimize.audit) );
+                ]))
+      end
+      else begin
+        Format.printf
+          "%s: luts %d -> %d, clbs %d -> %d (%d pass%s, %d rewrite%s%s)@."
+          (Filename.basename target) o.Optimize.luts_before
+          o.Optimize.luts_after o.Optimize.clbs_before o.Optimize.clbs_after
+          o.Optimize.passes
+          (if o.Optimize.passes = 1 then "" else "es")
+          (List.length o.Optimize.actions)
+          (if List.length o.Optimize.actions = 1 then "" else "s")
+          (if o.Optimize.reverted = 0 then ""
+           else Printf.sprintf ", %d reverted" o.Optimize.reverted);
+        List.iter
+          (fun a ->
+            Format.printf "  %-16s %s: %s@."
+              (Optimize.rule_name a.Optimize.rule)
+              a.Optimize.node a.Optimize.detail)
+          o.Optimize.actions;
+        if o.Optimize.audit = [] then
+          Format.printf "audit: equivalent%s@."
+            (if pla = None || engine = `Sat then ""
+             else " modulo the specification's don't cares")
+        else Format.printf "%a@." Diagnostic.pp_list o.Optimize.audit;
+        if stats then Format.printf "%a@." Stats.pp run_stats
+      end;
+      exit (if o.Optimize.audit = [] then 0 else 1)
+    in
+    match run () with
+    | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 3
+    | exception Blif.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" target line msg;
+        exit 3
+    | exception Pla.Parse_error (line, msg) ->
+        Printf.eprintf "%s: %d: %s\n" (Option.value ~default:"spec" pla) line
+          msg;
+        exit 3
+    | () -> ()
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Rewrite a LUT network with its computed don't cares, under an \
+          equivalence audit."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "The rewrite loop behind the $(b,SEM*) lint findings: each \
+              pass analyzes the network (exact SDC/ODC dataflow with the \
+              windowed SAT fallback), folds constant and dead nodes \
+              (SEM002/SEM003), merges semantic duplicates and twin LUTs \
+              (SEM004/SEM006), repoints identical outputs (SEM005) and \
+              refills don't-care table rows to drop redundant fanins — \
+              then audits the candidate against the original input and \
+              keeps it only when the audit proves equivalence on the care \
+              set.  A rejected candidate is retried with only the \
+              composition-safe subset of rewrites before the loop stops.";
+           `S Manpage.s_exit_status;
+           `P "$(b,0) on success — the output is provably equivalent;";
+           `P "$(b,1) when the final audit reports findings (not expected: \
+               failing candidates are reverted, never kept);";
+           `P "$(b,3) on parse or I/O failure, or a structurally broken \
+               input network.";
+         ])
+    Term.(
+      const optimize $ target $ pla $ out_blif $ passes $ engine $ json $ stats)
 
 (* ---- the daemon and its client ---- *)
 
@@ -1032,6 +1423,7 @@ let () =
             batch_cmd;
             lint_cmd;
             audit_cmd;
+            optimize_cmd;
             serve_cmd;
             submit_cmd;
           ]))

@@ -1,0 +1,150 @@
+open Sat
+
+type counters = {
+  mutable sat_calls : int;
+  mutable sat_conflicts : int;
+  mutable windows_built : int;
+}
+
+let counters () = { sat_calls = 0; sat_conflicts = 0; windows_built = 0 }
+
+type node_result = {
+  signal : Network.signal;
+  fanins : Network.signal array;
+  care : Bv.t;
+  reachable : Bv.t;
+  decided : bool;
+}
+
+let max_code_bits = 8
+
+let analyze_node ?(tfi_depth = 4) ?(tfo_depth = 4) ?(max_conflicts = 2000)
+    ?(check = fun () -> ()) ~counters ctx signal =
+  let net = Window.network ctx in
+  let fanins =
+    match Network.view net signal with
+    | `Lut (fs, _) -> fs
+    | `Input _ | `Const _ ->
+        invalid_arg "Complete_dc.analyze_node: not a LUT node"
+  in
+  let k = Array.length fanins in
+  if k > max_code_bits then None
+  else begin
+    let w = Window.build ctx ~center:signal ~tfi_depth ~tfo_depth in
+    counters.windows_built <- counters.windows_built + 1;
+    let cnf = Cnf.create () in
+    let n = max (Network.node_count net) 1 in
+    let var_a = Array.make n (-1) in
+    (* A-variable of any fanin a window node can mention: an internal
+       (allocated by the topological walk below before any fanout asks
+       for it), a pinned constant, or a free leaf *)
+    let var_of_a s =
+      let id = Network.signal_id s in
+      if var_a.(id) >= 0 then var_a.(id)
+      else begin
+        let v = Cnf.fresh cnf in
+        (match Network.view net s with
+        | `Const b -> Encode.constant cnf v b
+        | `Input _ | `Lut _ -> ());
+        var_a.(id) <- v;
+        v
+      end
+    in
+    Array.iter (fun l -> ignore (var_of_a l)) (Window.leaves w);
+    Array.iter
+      (fun s ->
+        let id = Network.signal_id s in
+        let v = Cnf.fresh cnf in
+        (match Network.view net s with
+        | `Lut (fs, tt) ->
+            Encode.lut cnf ~out:v ~fanins:(Array.map var_of_a fs) tt
+        | `Input _ | `Const _ -> assert false);
+        var_a.(id) <- v)
+      (Window.internals w);
+    (* copy B: the center's transitive fanout re-encoded with the
+       center complemented; fanins outside the TFO read the A copy *)
+    let var_b = Array.make n (-1) in
+    Array.iter
+      (fun s ->
+        if Window.in_tfo w s then begin
+          let id = Network.signal_id s in
+          let v = Cnf.fresh cnf in
+          (if Network.signal_equal s signal then
+             Encode.equiv_neg cnf var_a.(id) v
+           else
+             match Network.view net s with
+             | `Lut (fs, tt) ->
+                 let fv =
+                   Array.map
+                     (fun f ->
+                       let fid = Network.signal_id f in
+                       if var_b.(fid) >= 0 then var_b.(fid) else var_of_a f)
+                     fs
+                 in
+                 Encode.lut cnf ~out:v ~fanins:fv tt
+             | `Input _ | `Const _ -> assert false);
+          var_b.(id) <- v
+        end)
+      (Window.internals w);
+    (* the gated miter: sel -> some root differs between the copies *)
+    let sel = Cnf.fresh cnf in
+    let xors =
+      Array.map
+        (fun r ->
+          let id = Network.signal_id r in
+          Encode.xor_var cnf var_a.(id) var_b.(id))
+        (Window.roots w)
+    in
+    Cnf.add_clause cnf
+      (Cnf.neg sel :: Array.to_list (Array.map Cnf.pos xors));
+    let fanin_vars = Array.map var_of_a fanins in
+    let solver = Solver.create cnf in
+    let conflicts0 = Solver.conflicts solver in
+    let care = ref (Bv.create k false) in
+    let reachable = ref (Bv.create k false) in
+    let decided = ref true in
+    for c = 0 to (1 lsl k) - 1 do
+      check ();
+      let base =
+        List.init k (fun j ->
+            Cnf.lit_of_bool fanin_vars.(j) ((c lsr j) land 1 = 1))
+      in
+      counters.sat_calls <- counters.sat_calls + 1;
+      match
+        Solver.solve
+          ~assumptions:(Cnf.pos sel :: base)
+          ~max_conflicts ~check solver
+      with
+      | Solver.Sat ->
+          care := Bv.set !care c true;
+          reachable := Bv.set !reachable c true
+      | Solver.Unknown _ ->
+          decided := false;
+          care := Bv.set !care c true;
+          reachable := Bv.set !reachable c true
+      | Solver.Unsat -> (
+          (* unobservable or unreachable — tell them apart with the
+             selector off (the miter clause then satisfied trivially) *)
+          counters.sat_calls <- counters.sat_calls + 1;
+          match
+            Solver.solve
+              ~assumptions:(Cnf.neg sel :: base)
+              ~max_conflicts ~check solver
+          with
+          | Solver.Sat -> reachable := Bv.set !reachable c true
+          | Solver.Unsat -> ()
+          | Solver.Unknown _ ->
+              decided := false;
+              reachable := Bv.set !reachable c true)
+    done;
+    counters.sat_conflicts <-
+      counters.sat_conflicts + (Solver.conflicts solver - conflicts0);
+    Some
+      {
+        signal;
+        fanins;
+        care = !care;
+        reachable = !reachable;
+        decided = !decided;
+      }
+  end

@@ -114,7 +114,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let to_json fs =
+let to_json ?(extra = []) fs =
   let field k v = Printf.sprintf "\"%s\":%s" k v in
   let quote s = Printf.sprintf "\"%s\"" (json_escape s) in
   let one f =
@@ -129,7 +129,9 @@ let to_json fs =
   let body =
     "[" ^ String.concat "," (List.map (fun f -> "{" ^ one f ^ "}") (normalize fs)) ^ "]"
   in
-  Printf.sprintf "{\"catalogue\":\"%s\",\"findings\":%s}" catalogue_version body
+  Printf.sprintf "{\"catalogue\":\"%s\",\"findings\":%s%s}" catalogue_version body
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf ",%s" (field k v)) extra))
 
 type level = Off | Cheap | Full | Deep
 

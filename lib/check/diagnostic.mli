@@ -66,11 +66,14 @@ val pp_list : Format.formatter -> t list -> unit
 (** One finding per line (in {!normalize} order) followed by a severity
     summary; prints ["clean"] for an empty list. *)
 
-val to_json : t list -> string
+val to_json : ?extra:(string * string) list -> t list -> string
 (** A JSON object [{"catalogue":V,"findings":[...]}] where [V] is
     {!catalogue_version} and each finding is a
     [{"code","severity","loc","message"}] object (["loc"] is [null]
-    when absent), in {!normalize} order. *)
+    when absent), in {!normalize} order.  Each [extra] pair is appended
+    to the object as one more field; the value must already be valid
+    JSON text (the lint and audit front ends attach their analyzer
+    coverage this way). *)
 
 (** {1 Check levels} *)
 

@@ -1,6 +1,8 @@
-(* The SEM passes: semantic lint over the Careflow SDC/ODC dataflow.
-   All iteration is over lists/arrays in topological order, never over
-   hashtable order, so reports are deterministic run to run. *)
+(* The SEM passes: semantic lint over the Careflow SDC/ODC dataflow,
+   with a windowed SAT fallback for the nodes the exact dataflow's
+   budget could not reach.  All iteration is over lists/arrays in
+   topological order, never over hashtable order, so reports are
+   deterministic run to run. *)
 
 let rows_blurb rows total =
   let shown = List.filteri (fun i _ -> i < 8) rows in
@@ -72,7 +74,15 @@ let of_flow m net flow =
       end)
     flow.Careflow.nodes;
   (* SEM004: functional duplicates up to fanin permutation/complement.
-     Constant-on-care nodes are excluded (SEM003 already owns them). *)
+     Constant-on-care nodes are excluded (SEM003 already owns them).
+     Collected, not emitted: a pair that is also an in-place mergeable
+     twin (SEM006) must fold into one finding noting both codes. *)
+  let pair_key a b =
+    let ia = Network.signal_id a.Careflow.signal
+    and ib = Network.signal_id b.Careflow.signal in
+    (min ia ib, max ia ib)
+  in
+  let dups = ref [] in
   if not no_care then begin
     let care = flow.Careflow.care_any in
     let interesting =
@@ -105,39 +115,26 @@ let of_flow m net flow =
                   (Bdd.equal_on m ~care prev.Careflow.global
                      info.Careflow.global)
               in
-              add ~loc:(name_of info.Careflow.signal) "SEM004"
-                (Printf.sprintf
-                   "computes the same function as LUT %s on the care set%s"
-                   (name_of prev.Careflow.signal)
-                   (if complemented then " (complemented)" else ""))
+              dups :=
+                ( pair_key prev info,
+                  name_of info.Careflow.signal,
+                  Printf.sprintf
+                    "computes the same function as LUT %s on the care set%s"
+                    (name_of prev.Careflow.signal)
+                    (if complemented then " (complemented)" else "") )
+                :: !dups
           | None -> ());
           scan rest
     in
     scan interesting
   end;
-  (* SEM005: identical primary outputs (on the union of their cares) *)
-  let rec out_pairs = function
-    | [] -> ()
-    | (name, g) :: rest ->
-        List.iter
-          (fun (name', g') ->
-            let care =
-              Bdd.or_ m
-                (List.assoc name flow.Careflow.cares)
-                (List.assoc name' flow.Careflow.cares)
-            in
-            if (not (Bdd.is_zero care)) && Bdd.equal_on m ~care g g' then
-              add ~loc:name' "SEM005"
-                (Printf.sprintf
-                   "provably identical to output %s on the care set" name))
-          rest;
-        out_pairs rest
-  in
-  out_pairs flow.Careflow.outputs;
-  (* SEM006: mergeable twins — same fanin set, tables differing only in
-     free bits that were fixed inconsistently.  Grouping uses the same
-     canonical form as the structural NET007 pass.  Every bit is
-     trivially free on an empty care space, so the pass needs one. *)
+  (* SEM006 candidates: mergeable twins — same fanin set, tables
+     differing only in free bits that were fixed inconsistently.
+     Grouping uses the same canonical form as the structural NET007
+     pass.  Every bit is trivially free on an empty care space, so the
+     pass needs one.  Also collected before emission, for the same
+     SEM004 dedup reason. *)
+  let twins = ref [] in
   let groups = Hashtbl.create 16 in
   let group_keys = ref [] in
   if not no_care then
@@ -179,18 +176,61 @@ let of_flow m net flow =
                            (fun c -> free a (ra c) || free b (rb c))
                            differing
                     then
-                      add ~loc:(name_of b.Careflow.signal) "SEM006"
-                        (Printf.sprintf
-                           "row%s %s differ from LUT %s only in free don't-care \
-                            bits; assigning them alike would merge the LUTs"
-                           (if List.length differing > 1 then "s" else "")
-                           (rows_blurb differing nrows)
-                           (name_of a.Careflow.signal)))
+                      twins :=
+                        ( pair_key a b,
+                          name_of b.Careflow.signal,
+                          Printf.sprintf
+                            "row%s %s differ from LUT %s only in free \
+                             don't-care bits; assigning them alike would \
+                             merge the LUTs"
+                            (if List.length differing > 1 then "s" else "")
+                            (rows_blurb differing nrows)
+                            (name_of a.Careflow.signal),
+                          rows_blurb differing nrows )
+                        :: !twins)
                   rest;
                 pairs rest
           in
           pairs members)
     (List.rev !group_keys);
+  let dups = List.rev !dups and twins = List.rev !twins in
+  (* emit SEM004, folding in the SEM006 evidence for the same pair *)
+  List.iter
+    (fun (key, loc, msg) ->
+      match List.find_opt (fun (k, _, _, _) -> k = key) twins with
+      | Some (_, _, _, blurb) ->
+          add ~loc "SEM004"
+            (Printf.sprintf
+               "%s; rows %s also differ only in free don't-care bits, so the \
+                pair is mergeable in place (SEM006)"
+               msg blurb)
+      | None -> add ~loc "SEM004" msg)
+    dups;
+  (* SEM005: identical primary outputs (on the union of their cares) *)
+  let rec out_pairs = function
+    | [] -> ()
+    | (name, g) :: rest ->
+        List.iter
+          (fun (name', g') ->
+            let care =
+              Bdd.or_ m
+                (List.assoc name flow.Careflow.cares)
+                (List.assoc name' flow.Careflow.cares)
+            in
+            if (not (Bdd.is_zero care)) && Bdd.equal_on m ~care g g' then
+              add ~loc:name' "SEM005"
+                (Printf.sprintf
+                   "provably identical to output %s on the care set" name))
+          rest;
+        out_pairs rest
+  in
+  out_pairs flow.Careflow.outputs;
+  (* emit the SEM006 findings not folded into a SEM004 above *)
+  List.iter
+    (fun (key, loc, msg, _) ->
+      if not (List.exists (fun (k, _, _) -> k = key) dups) then
+        add ~loc "SEM006" msg)
+    twins;
   (* SEM008: the analysis was cut short *)
   (match flow.Careflow.truncated with
   | Some reason ->
@@ -201,6 +241,178 @@ let of_flow m net flow =
            reason flow.Careflow.analyzed flow.Careflow.total)
   | None -> ());
   List.rev !findings
+
+(* The windowed pass half: findings a window result alone justifies.
+   Window leaves are free, so window-unreachable rows are globally
+   unreachable; window roots cut every path out, so a window-empty care
+   set means a globally dead node; a table constant across the
+   window-reachable rows is constant everywhere reachable. *)
+let of_windowed net results =
+  let name_of = namer net in
+  let findings = ref [] in
+  let add ?loc code msg = findings := Diagnostic.make ?loc code msg :: !findings in
+  List.iter
+    (fun r ->
+      let loc = name_of r.Complete_dc.signal in
+      let k = Bv.nvars r.Complete_dc.care in
+      let nrows = 1 lsl k in
+      let sdc_rows =
+        List.filter
+          (fun c -> not (Bv.get r.Complete_dc.reachable c))
+          (List.init nrows Fun.id)
+      in
+      if sdc_rows <> [] && nrows > 1 then
+        add ~loc "SEM001"
+          (Printf.sprintf
+             "table row%s %s unreachable from the primary inputs (window \
+              analysis)"
+             (if List.length sdc_rows > 1 then "s" else "")
+             (rows_blurb sdc_rows nrows));
+      if Bv.is_zero r.Complete_dc.care then
+        add ~loc "SEM002"
+          "complementing this node never changes any cared-for output \
+           (window analysis)";
+      if nrows > 1 then begin
+        match Network.view net r.Complete_dc.signal with
+        | `Input _ | `Const _ -> ()
+        | `Lut (_, tt) -> (
+            let reachable_vals =
+              List.filter_map
+                (fun c ->
+                  if Bv.get r.Complete_dc.reachable c then Some (Bv.get tt c)
+                  else None)
+                (List.init nrows Fun.id)
+            in
+            match reachable_vals with
+            | [] -> ()
+            | v :: rest when List.for_all (fun x -> x = v) rest ->
+                add ~loc "SEM003"
+                  (Printf.sprintf
+                     "computes constant %d on the care set (window analysis)"
+                     (if v then 1 else 0))
+            | _ -> ())
+      end)
+    results;
+  List.rev !findings
+
+type coverage = {
+  exact_nodes : int;
+  windowed_nodes : int;
+  truncated_nodes : int;
+  total_nodes : int;
+  sat_calls : int;
+  sat_conflicts : int;
+  windows_built : int;
+}
+
+type report = { findings : Diagnostic.t list; coverage : coverage }
+
+let analyze_report ?care_of_output ?check ?(sat_fallback = true)
+    ?(tfi_depth = 4) ?(tfo_depth = 4) ?(sat_max_conflicts = 2000)
+    ?(sat_timeout = 20.0) m ~var_of_input net =
+  let flow = Careflow.analyze ?care_of_output ?check m ~var_of_input net in
+  let base = of_flow m net flow in
+  let exact_nodes = flow.Careflow.analyzed in
+  let total_nodes = flow.Careflow.total in
+  match flow.Careflow.truncated with
+  | None ->
+      {
+        findings = base;
+        coverage =
+          {
+            exact_nodes;
+            windowed_nodes = 0;
+            truncated_nodes = 0;
+            total_nodes;
+            sat_calls = 0;
+            sat_conflicts = 0;
+            windows_built = 0;
+          };
+      }
+  | Some _ when not sat_fallback ->
+      {
+        findings = base;
+        coverage =
+          {
+            exact_nodes;
+            windowed_nodes = 0;
+            truncated_nodes = total_nodes - exact_nodes;
+            total_nodes;
+            sat_calls = 0;
+            sat_conflicts = 0;
+            windows_built = 0;
+          };
+      }
+  | Some reason ->
+      (* the windowed fallback replaces the blanket SEM008 with per-node
+         coverage; only what escapes both engines stays truncated *)
+      let keep = List.filter (fun f -> f.Diagnostic.code <> "SEM008") base in
+      let analyzed = Hashtbl.create 64 in
+      List.iter
+        (fun info ->
+          Hashtbl.replace analyzed
+            (Network.signal_id info.Careflow.signal)
+            ())
+        flow.Careflow.nodes;
+      let remaining =
+        Array.of_list
+          (List.filter
+             (fun s -> not (Hashtbl.mem analyzed (Network.signal_id s)))
+             (Network.lut_signals net))
+      in
+      let ctx = Window.context net in
+      let counters = Complete_dc.counters () in
+      let deadline = Sys.time () +. sat_timeout in
+      let sat_check () =
+        if Sys.time () > deadline then
+          raise (Careflow.Cutoff "windowed-analysis timeout")
+      in
+      let results = ref [] in
+      let too_wide = ref 0 in
+      let processed = ref 0 in
+      (try
+         Array.iter
+           (fun s ->
+             (match
+                Complete_dc.analyze_node ~tfi_depth ~tfo_depth
+                  ~max_conflicts:sat_max_conflicts ~check:sat_check
+                  ~counters ctx s
+              with
+             | Some r -> results := r :: !results
+             | None -> incr too_wide);
+             incr processed)
+           remaining
+       with Careflow.Cutoff _ -> ());
+      let windowed_nodes = List.length !results in
+      let truncated_nodes =
+        Array.length remaining - !processed + !too_wide
+      in
+      let windowed_findings = of_windowed net (List.rev !results) in
+      let trunc_finding =
+        if truncated_nodes > 0 then
+          [
+            Diagnostic.make ~loc:"semantics" "SEM008"
+              (Printf.sprintf
+                 "analysis truncated (%s): %d of %d nodes analyzed exactly, \
+                  %d more via windows, %d escaped both engines; findings are \
+                  partial"
+                 reason exact_nodes total_nodes windowed_nodes truncated_nodes);
+          ]
+        else []
+      in
+      {
+        findings = keep @ windowed_findings @ trunc_finding;
+        coverage =
+          {
+            exact_nodes;
+            windowed_nodes;
+            truncated_nodes;
+            total_nodes;
+            sat_calls = counters.Complete_dc.sat_calls;
+            sat_conflicts = counters.Complete_dc.sat_conflicts;
+            windows_built = counters.Complete_dc.windows_built;
+          };
+      }
 
 let analyze ?care_of_output ?check m ~var_of_input net =
   of_flow m net (Careflow.analyze ?care_of_output ?check m ~var_of_input net)
@@ -247,3 +459,114 @@ let audit ?care_of_output m ~inputs ~golden ~candidate =
         add ~loc:name "SEM007" "output missing from the golden network")
     c_out;
   List.rev !findings
+
+type sat_audit = {
+  audit_findings : Diagnostic.t list;
+  outputs_proved : int;
+  outputs_refuted : int;
+  outputs_unknown : int;
+  audit_sat_calls : int;
+  audit_sat_conflicts : int;
+}
+
+let audit_sat ?(dc_cubes_of_output = fun _ -> []) ?(max_conflicts = 100_000)
+    ~golden ~candidate inputs =
+  let cnf = Sat.Cnf.create () in
+  let env_g = Sat.Encode.of_network cnf golden in
+  let env_c = Sat.Encode.of_network cnf candidate in
+  let g_in = Sat.Encode.input_vars env_g in
+  let c_in = Sat.Encode.input_vars env_c in
+  (* the common input space: same-named inputs are the same variable *)
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name c_in with
+      | Some v' ->
+          Sat.Cnf.add_clause cnf [ Sat.Cnf.neg v; Sat.Cnf.pos v' ];
+          Sat.Cnf.add_clause cnf [ Sat.Cnf.pos v; Sat.Cnf.neg v' ]
+      | None -> ())
+    g_in;
+  let var_of_input name =
+    match List.assoc_opt name g_in with
+    | Some v -> Some v
+    | None -> List.assoc_opt name c_in
+  in
+  let g_out = Sat.Encode.output_vars env_g in
+  let c_out = Sat.Encode.output_vars env_c in
+  (* one gated miter per common output, built before the solver import *)
+  let plan =
+    List.map
+      (fun (name, gv) ->
+        match List.assoc_opt name c_out with
+        | None -> (name, None)
+        | Some cv ->
+            let sel = Sat.Cnf.fresh cnf in
+            let x = Sat.Encode.xor_var cnf gv cv in
+            Sat.Cnf.add_clause cnf [ Sat.Cnf.neg sel; Sat.Cnf.pos x ];
+            (* under this selector, stay outside every don't-care cube *)
+            List.iter
+              (fun cube ->
+                let lits =
+                  List.filter_map
+                    (fun (i, v) ->
+                      Option.map
+                        (fun iv -> Sat.Cnf.lit_of_bool iv (not v))
+                        (var_of_input i))
+                    cube
+                in
+                Sat.Cnf.add_clause cnf (Sat.Cnf.neg sel :: lits))
+              (dc_cubes_of_output name);
+            (name, Some sel))
+      g_out
+  in
+  let solver = Sat.Solver.create cnf in
+  let conflicts0 = Sat.Solver.conflicts solver in
+  let findings = ref [] in
+  let add ?loc code msg = findings := Diagnostic.make ?loc code msg :: !findings in
+  let proved = ref 0 and refuted = ref 0 and unknown = ref 0 in
+  let calls = ref 0 in
+  List.iter
+    (fun (name, sel) ->
+      match sel with
+      | None ->
+          add ~loc:name "SEM007" "output missing from the candidate network"
+      | Some sel -> (
+          incr calls;
+          match
+            Sat.Solver.solve ~assumptions:[ Sat.Cnf.pos sel ] ~max_conflicts
+              solver
+          with
+          | Sat.Solver.Sat ->
+              incr refuted;
+              let cex =
+                String.concat " "
+                  (List.map
+                     (fun n ->
+                       match var_of_input n with
+                       | Some v ->
+                           n ^ "=" ^ (if Sat.Solver.value solver v then "1" else "0")
+                       | None -> n ^ "=-")
+                     inputs)
+              in
+              add ~loc:name "SEM007"
+                (Printf.sprintf
+                   "networks disagree inside the care set, e.g. at %s" cex)
+          | Sat.Solver.Unsat -> incr proved
+          | Sat.Solver.Unknown reason ->
+              incr unknown;
+              add ~loc:name "SEM008"
+                (Printf.sprintf
+                   "SAT audit ran out of budget (%s); verdict unknown" reason)))
+    plan;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name g_out) then
+        add ~loc:name "SEM007" "output missing from the golden network")
+    c_out;
+  {
+    audit_findings = List.rev !findings;
+    outputs_proved = !proved;
+    outputs_refuted = !refuted;
+    outputs_unknown = !unknown;
+    audit_sat_calls = !calls;
+    audit_sat_conflicts = Sat.Solver.conflicts solver - conflicts0;
+  }

@@ -13,20 +13,66 @@
       set (a constant the structural [NET008] pass cannot see);
     - [SEM004]: two LUTs computing the same (or complementary) global
       function on the care set — the semantic duplicates the
-      structural [NET007] pass misses;
+      structural [NET007] pass misses; when the same pair is also
+      mergeable in place, the finding notes the [SEM006] evidence
+      instead of a second finding being emitted;
     - [SEM005]: two primary outputs provably identical on the union of
       their care sets;
     - [SEM006]: two LUTs over the same fanins whose tables differ only
       in {e free} bits (rows that are unreachable or unobservable) —
       don't cares left unexploited by fixing the free bits
       inconsistently;
-    - [SEM008]: the analysis was truncated by its budget (Info).
+    - [SEM008]: part of the network escaped even the windowed analysis
+      (Info).
 
     [SEM007] (inequivalence inside the care set) is produced by
-    {!audit}.
+    {!audit} and {!audit_sat}.
+
+    Two analysis engines back the passes.  The exact engine
+    ({!Careflow}) computes global BDDs and full SDC/ODC sets but blows
+    up on big cones; when its budget trips, {!analyze_report} falls
+    back to the SAT engine — windowed complete don't cares
+    ({!Complete_dc}) for every node the exact engine did not reach —
+    and only the nodes {e neither} engine covered are reported as
+    [SEM008] truncation.
 
     Precondition as for {!Careflow.analyze}: structurally sound
     networks only. *)
+
+type coverage = {
+  exact_nodes : int;  (** LUT nodes with full BDD SDC/ODC information *)
+  windowed_nodes : int;  (** covered by the windowed SAT fallback *)
+  truncated_nodes : int;  (** covered by neither engine *)
+  total_nodes : int;  (** reachable LUT nodes *)
+  sat_calls : int;
+  sat_conflicts : int;
+  windows_built : int;
+}
+
+type report = { findings : Diagnostic.t list; coverage : coverage }
+
+val analyze_report :
+  ?care_of_output:(string -> Bdd.t) ->
+  ?check:(unit -> unit) ->
+  ?sat_fallback:bool ->
+  ?tfi_depth:int ->
+  ?tfo_depth:int ->
+  ?sat_max_conflicts:int ->
+  ?sat_timeout:float ->
+  Bdd.manager ->
+  var_of_input:(string -> int) ->
+  Network.t ->
+  report
+(** Run the exact dataflow, then — when it was truncated and
+    [sat_fallback] (default [true]) — the windowed SAT analysis over
+    the remainder.  The fallback sees the network but not
+    [care_of_output] (its don't cares are global, hence valid on any
+    care set); it emits [SEM001]/[SEM002]/[SEM003] findings where the
+    window proves them.  [check] budgets only the exact phase (it has
+    typically already tripped when the fallback starts); the fallback
+    is budgeted by [sat_max_conflicts] per solver call (default 2000),
+    [sat_timeout] processor seconds overall (default 20), and window
+    depths [tfi_depth]/[tfo_depth] (default 4/4). *)
 
 val analyze :
   ?care_of_output:(string -> Bdd.t) ->
@@ -35,15 +81,22 @@ val analyze :
   var_of_input:(string -> int) ->
   Network.t ->
   Diagnostic.t list
-(** Run the dataflow and all [SEM] passes.  [check] may raise
-    {!Careflow.Cutoff} to truncate (yielding a partial report plus
-    [SEM008]); [care_of_output] restricts both reachability and
-    observability to the specification's care set. *)
+(** [analyze] is {!analyze_report} without the SAT fallback (the
+    historical exact-only entry): a truncated run yields a partial
+    report plus [SEM008]. *)
 
 val of_flow : Bdd.manager -> Network.t -> Careflow.t -> Diagnostic.t list
 (** The pass half of {!analyze}, for callers that run
     {!Careflow.analyze} themselves (the decomposition driver does, so
     it can record the analyzed-node count in its statistics). *)
+
+val of_windowed :
+  Network.t -> Complete_dc.node_result list -> Diagnostic.t list
+(** The windowed pass half: [SEM001] (window-unreachable rows),
+    [SEM002] (empty windowed care set) and [SEM003] (constant on the
+    reachable codes) findings justified by window results alone.
+    Exposed for tests and for callers that window selected nodes
+    themselves. *)
 
 val audit :
   ?care_of_output:(string -> Bdd.t) ->
@@ -59,3 +112,33 @@ val audit :
     [SEM007] errors — one per differing output, with a counterexample
     minterm, and one per output present in only one network.  An empty
     result is a proof of equivalence modulo the don't-care set. *)
+
+type sat_audit = {
+  audit_findings : Diagnostic.t list;
+  outputs_proved : int;
+  outputs_refuted : int;
+  outputs_unknown : int;  (** solver budget ran out ([SEM008] emitted) *)
+  audit_sat_calls : int;
+  audit_sat_conflicts : int;
+}
+
+val audit_sat :
+  ?dc_cubes_of_output:(string -> (string * bool) list list) ->
+  ?max_conflicts:int ->
+  golden:Network.t ->
+  candidate:Network.t ->
+  string list ->
+  sat_audit
+(** The SAT twin of {!audit}: both networks Tseitin-encoded into one
+    formula ({!Encode.of_network}), common inputs tied, one gated XOR
+    miter per common output, one solver call per output.  A [Sat]
+    answer is an inequivalence with the model as counterexample
+    minterm; [Unsat] proves the output equal.  [dc_cubes_of_output]
+    lists input cubes (partial assignments as [(input, value)] pairs)
+    the specification does not care about for that output — excluded
+    from the comparison, making the audit care-set-aware like the BDD
+    path.  The final argument lists the input names, fixing the
+    counterexample rendering order.
+    [max_conflicts] (default 100_000) budgets each output's call;
+    budget exhaustion yields a per-output [SEM008] (never a wrong
+    verdict). *)

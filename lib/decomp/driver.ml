@@ -623,11 +623,21 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
       | Some isf -> Isf.care m isf
       | None -> Bdd.one m
     in
-    let flow = Careflow.analyze ~care_of_output ~check m ~var_of_input net in
-    stats.Stats.sem_nodes <- stats.Stats.sem_nodes + flow.Careflow.analyzed;
-    if flow.Careflow.truncated <> None then
+    let report =
+      Semantics.analyze_report ~care_of_output ~check m ~var_of_input net
+    in
+    let cov = report.Semantics.coverage in
+    stats.Stats.sem_nodes <-
+      stats.Stats.sem_nodes + cov.Semantics.exact_nodes
+      + cov.Semantics.windowed_nodes;
+    if cov.Semantics.truncated_nodes > 0 then
       stats.Stats.sem_truncations <- stats.Stats.sem_truncations + 1;
-    List.iter emit_finding (Semantics.of_flow m net flow);
+    stats.Stats.sat_calls <- stats.Stats.sat_calls + cov.Semantics.sat_calls;
+    stats.Stats.sat_conflicts <-
+      stats.Stats.sat_conflicts + cov.Semantics.sat_conflicts;
+    stats.Stats.windows_built <-
+      stats.Stats.windows_built + cov.Semantics.windows_built;
+    List.iter emit_finding report.Semantics.findings;
     ignore (Stats.mark clock "semantics")
   end;
   {

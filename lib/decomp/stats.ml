@@ -13,6 +13,9 @@ type t = {
   mutable result_misses : int;
   mutable sem_nodes : int;
   mutable sem_truncations : int;
+  mutable sat_calls : int;
+  mutable sat_conflicts : int;
+  mutable windows_built : int;
   mutable degradations : (string * string * string) list;
   mutable findings : (string * string * string) list;
   phases : (string, float) Hashtbl.t;
@@ -34,6 +37,9 @@ let create () =
     result_misses = 0;
     sem_nodes = 0;
     sem_truncations = 0;
+    sat_calls = 0;
+    sat_conflicts = 0;
+    windows_built = 0;
     degradations = [];
     findings = [];
     phases = Hashtbl.create 8;
@@ -54,6 +60,9 @@ let reset t =
   t.result_misses <- 0;
   t.sem_nodes <- 0;
   t.sem_truncations <- 0;
+  t.sat_calls <- 0;
+  t.sat_conflicts <- 0;
+  t.windows_built <- 0;
   t.degradations <- [];
   t.findings <- [];
   Hashtbl.reset t.phases
@@ -73,6 +82,9 @@ let merge ~into s =
   into.result_misses <- into.result_misses + s.result_misses;
   into.sem_nodes <- into.sem_nodes + s.sem_nodes;
   into.sem_truncations <- into.sem_truncations + s.sem_truncations;
+  into.sat_calls <- into.sat_calls + s.sat_calls;
+  into.sat_conflicts <- into.sat_conflicts + s.sat_conflicts;
+  into.windows_built <- into.windows_built + s.windows_built;
   (* both lists are newest-first; keep the merged one newest-first too *)
   into.degradations <- s.degradations @ into.degradations;
   into.findings <- s.findings @ into.findings;
@@ -152,6 +164,9 @@ let counter_fields =
     ("result_misses", (fun t -> t.result_misses), fun t v -> t.result_misses <- v);
     ("sem_nodes", (fun t -> t.sem_nodes), fun t v -> t.sem_nodes <- v);
     ("sem_truncations", (fun t -> t.sem_truncations), fun t v -> t.sem_truncations <- v);
+    ("sat_calls", (fun t -> t.sat_calls), fun t v -> t.sat_calls <- v);
+    ("sat_conflicts", (fun t -> t.sat_conflicts), fun t v -> t.sat_conflicts <- v);
+    ("windows_built", (fun t -> t.windows_built), fun t v -> t.windows_built <- v);
   ]
 
 let counter_names = List.map (fun (name, _, _) -> name) counter_fields
@@ -236,6 +251,10 @@ let pp fmt t =
   if t.sem_nodes > 0 || t.sem_truncations > 0 then
     Format.fprintf fmt "@,semantic dataflow: %d node(s) analyzed, %d truncation(s)"
       t.sem_nodes t.sem_truncations;
+  if t.sat_calls > 0 || t.windows_built > 0 then
+    Format.fprintf fmt
+      "@,sat engine: %d window(s), %d call(s), %d conflict(s)"
+      t.windows_built t.sat_calls t.sat_conflicts;
   (match degradations t with
   | [] -> ()
   | ds ->

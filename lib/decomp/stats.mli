@@ -30,6 +30,12 @@ type t = {
       (** LUT nodes analyzed by the deep semantic (SDC/ODC) pass *)
   mutable sem_truncations : int;
       (** semantic passes cut short by the budget (at most 1 per run) *)
+  mutable sat_calls : int;
+      (** CDCL solver invocations by the windowed don't-care fallback
+          and the SAT audit (mirrored from the check layer, like
+          [findings]) *)
+  mutable sat_conflicts : int;  (** conflicts across those calls *)
+  mutable windows_built : int;  (** windows extracted for SAT analysis *)
   mutable degradations : (string * string * string) list;
       (** budget degradation events, newest first:
           [(stage entered, resource exceeded, where it was detected)] *)

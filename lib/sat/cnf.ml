@@ -1,0 +1,47 @@
+type var = int
+type lit = int
+
+let pos v = v lsl 1
+let neg v = (v lsl 1) lor 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let is_pos l = l land 1 = 0
+let lit_of_bool v b = if b then pos v else neg v
+
+let pp_lit fmt l =
+  Format.fprintf fmt "%d" (if is_pos l then var_of l + 1 else -(var_of l + 1))
+
+type t = {
+  mutable nvars : int;
+  mutable clauses_rev : lit array list;
+  mutable nclauses : int;
+}
+
+let create () = { nvars = 0; clauses_rev = []; nclauses = 0 }
+
+let fresh t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  v
+
+let nvars t = t.nvars
+
+let add_clause t lits =
+  List.iter
+    (fun l ->
+      if l < 0 || var_of l >= t.nvars then
+        invalid_arg
+          (Printf.sprintf "Cnf.add_clause: literal %d of unallocated variable" l))
+    lits;
+  t.clauses_rev <- Array.of_list lits :: t.clauses_rev;
+  t.nclauses <- t.nclauses + 1
+
+let nclauses t = t.nclauses
+
+let iter_clauses t f = List.iter f (List.rev t.clauses_rev)
+
+let pp fmt t =
+  Format.fprintf fmt "p cnf %d %d@." t.nvars t.nclauses;
+  iter_clauses t (fun c ->
+      Array.iter (fun l -> Format.fprintf fmt "%a " pp_lit l) c;
+      Format.fprintf fmt "0@.")

@@ -1,0 +1,49 @@
+(** Clause databases in conjunctive normal form.
+
+    The exchange format between the Tseitin encoder ({!Encode}) and the
+    CDCL solver ({!Solver}): variables are dense non-negative integers,
+    literals pack a variable and a sign into one integer ([2v] is the
+    positive literal of variable [v], [2v+1] its negation), clauses are
+    literal lists.  A [Cnf.t] is a growable formula; {!Solver.create}
+    imports it and further clauses are added to the {e solver} (learned
+    and blocking clauses), not here. *)
+
+type var = int
+(** A propositional variable, allocated densely from 0 by {!fresh}. *)
+
+type lit = int
+(** A literal: variable [l lsr 1], negated iff [l land 1 = 1]. *)
+
+val pos : var -> lit
+val neg : var -> lit
+val negate : lit -> lit
+val var_of : lit -> var
+val is_pos : lit -> bool
+
+val lit_of_bool : var -> bool -> lit
+(** [lit_of_bool v b] is the literal forcing [v = b]. *)
+
+val pp_lit : Format.formatter -> lit -> unit
+(** DIMACS-style rendering ([3] / [-3], counting variables from 1). *)
+
+type t
+
+val create : unit -> t
+
+val fresh : t -> var
+(** Allocate the next unused variable. *)
+
+val nvars : t -> int
+
+val add_clause : t -> lit list -> unit
+(** Append one clause.  Literals must refer to allocated variables.
+    @raise Invalid_argument on an out-of-range literal. *)
+
+val nclauses : t -> int
+
+val iter_clauses : t -> (lit array -> unit) -> unit
+(** Visit every clause in insertion order.  The arrays are the stored
+    clauses; callers must not mutate them. *)
+
+val pp : Format.formatter -> t -> unit
+(** DIMACS rendering (for debugging and golden tests). *)

@@ -1,0 +1,53 @@
+(** Tseitin encoding of LUT networks into CNF.
+
+    The bridge from {!Network.t} to the solver.  A [k]-input LUT with
+    truth table [tt] becomes [2^k] clauses, one per fanin code [c]:
+    the clause rules out "fanins spell [c] but the output disagrees
+    with [tt(c)]".  This is both directions of the Tseitin
+    biconditional at once, so the encoding is {e functional}: in every
+    model the LUT variables are determined by the input variables.
+
+    Two entry points: the node-level primitives ({!lut}, {!equiv_neg},
+    {!xor_var}, {!constant}) for callers that assemble windows or
+    miters themselves (see [Check.Window]), and {!of_network} for
+    whole-network encoding (the SAT equivalence audit). *)
+
+val lut : Cnf.t -> out:Cnf.var -> fanins:Cnf.var array -> Bv.t -> unit
+(** Constrain [out] to be the LUT of [fanins] under the given truth
+    table (fanin [j] = truth-table variable [j], as in {!Network.view}).
+    [2^k] clauses of [k+1] literals.
+    @raise Invalid_argument when the table arity differs from the
+    fanin count. *)
+
+val constant : Cnf.t -> Cnf.var -> bool -> unit
+(** Pin a variable with a unit clause. *)
+
+val equiv_neg : Cnf.t -> Cnf.var -> Cnf.var -> unit
+(** Constrain two variables to be complements (two binary clauses) —
+    how a miter's B-copy center is forced to disagree with the A-copy. *)
+
+val xor_var : Cnf.t -> Cnf.var -> Cnf.var -> Cnf.var
+(** A fresh variable constrained to the XOR of the two given ones
+    (four ternary clauses): one miter output per window root. *)
+
+(** {1 Whole networks} *)
+
+type env
+(** A finished encoding of one network: the CNF variables standing for
+    its signals. *)
+
+val of_network : Cnf.t -> Network.t -> env
+(** Encode every node reachable from the outputs ({!Network.iter_cone}
+    order): inputs become free variables, constants pinned variables,
+    LUTs {!lut}-constrained ones.  Multiple networks may share one
+    [Cnf.t] (each call allocates fresh variables), which is how the
+    equivalence miter is built. *)
+
+val var_of_signal : env -> Network.signal -> Cnf.var
+(** @raise Invalid_argument for a signal outside the encoded cone. *)
+
+val input_vars : env -> (string * Cnf.var) list
+(** In {!Network.inputs} order. *)
+
+val output_vars : env -> (string * Cnf.var) list
+(** In {!Network.outputs} order. *)

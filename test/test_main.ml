@@ -15,8 +15,10 @@ let () =
       ("extra", Test_extra.suite);
       ("budget", Test_budget.suite);
       ("batch", Test_batch.suite);
+      ("sat", Test_sat.suite);
       ("check", Test_check.suite);
       ("semantics", Test_semantics.suite);
+      ("optimize", Test_optimize.suite);
       ("serve", Test_serve.suite);
       ("bench-report", Test_bench_report.suite);
     ]

@@ -111,9 +111,41 @@ let sem_tests =
     Alcotest.test_case "SEM005: identical outputs" `Quick (fun () ->
         let fs = analyze (sem004_net ()) in
         check_bool "sem005" true (has ~loc:"o2" "SEM005" fs));
-    Alcotest.test_case "SEM006: mergeable twins" `Quick (fun () ->
+    Alcotest.test_case "SEM006 folds into SEM004 for the same pair" `Quick
+      (fun () ->
+        (* In sem006_net the twins also compute the same function on the
+           care set, so the pair gets ONE finding: SEM004 noting the
+           SEM006 evidence, not two findings. *)
         let fs = analyze (sem006_net ()) in
-        check_bool "sem006" true (has ~loc:"ob" "SEM006" fs));
+        check_bool "no separate sem006" false (has ~loc:"ob" "SEM006" fs);
+        check_bool "sem004 present" true (has ~loc:"ob" "SEM004" fs);
+        let merged =
+          List.find
+            (fun f -> f.Diagnostic.code = "SEM004" && f.Diagnostic.loc = Some "ob")
+            fs
+        in
+        check_bool "notes SEM006" true
+          (contains merged.Diagnostic.message "SEM006"));
+    Alcotest.test_case "SEM006 alone when the pair is not a duplicate" `Quick
+      (fun () ->
+        (* a = and(x,y), b = xnor-ish twin differing only at x=0 rows;
+           both are masked by x downstream, so the differing rows are
+           unobservable (free) — yet the global functions differ at
+           x=0, so the pair is NOT a SEM004 duplicate. *)
+        let net = Network.create () in
+        let x = Network.add_input net "x" and y = Network.add_input net "y" in
+        let a = Network.add_lut net ~fanins:[ x; y ] ~tt:(tt "0001") in
+        let b = Network.add_lut net ~fanins:[ x; y ] ~tt:(tt "1001") in
+        Network.set_output net "oa" (Network.and_gate net a x);
+        Network.set_output net "ob" (Network.and_gate net b x);
+        let fs = analyze net in
+        check_bool "sem006" true (has "SEM006" fs);
+        check_bool "twin pair not reported as duplicate" true
+          (List.for_all
+             (fun f ->
+               f.Diagnostic.code <> "SEM004"
+               || not (contains f.Diagnostic.message "SEM006"))
+             fs));
     Alcotest.test_case "SEM008: budget truncation" `Quick (fun () ->
         let net = sem001_net () in
         let calls = ref 0 in
@@ -280,6 +312,115 @@ let gen_fun n =
   let arr = Array.of_list bits in
   Bv.of_fun n (fun i -> arr.(i))
 
+(* ---- the windowed SAT fallback ---- *)
+
+let var_of_input_of net =
+  let tbl = Hashtbl.create 8 in
+  List.iteri (fun k (name, _) -> Hashtbl.add tbl name k) (Network.inputs net);
+  fun name -> Hashtbl.find tbl name
+
+let windowed_tests =
+  [
+    Alcotest.test_case "fallback covers a fully truncated run" `Quick
+      (fun () ->
+        (* The exact engine is killed on the first poll; the windowed
+           engine must still find sem001_net's unreachable row, and the
+           report must show full coverage with no SEM008. *)
+        let net = sem001_net () in
+        let m = Bdd.manager () in
+        let r =
+          Semantics.analyze_report
+            ~check:(fun () -> raise (Careflow.Cutoff "test budget"))
+            m ~var_of_input:(var_of_input_of net) net
+        in
+        check_bool "sem001 via window" true (has ~loc:"o" "SEM001" r.Semantics.findings);
+        check_bool "no sem008" false (has "SEM008" r.Semantics.findings);
+        check_int "exact" 0 r.Semantics.coverage.Semantics.exact_nodes;
+        check_int "windowed" r.Semantics.coverage.Semantics.total_nodes
+          r.Semantics.coverage.Semantics.windowed_nodes;
+        check_int "truncated" 0 r.Semantics.coverage.Semantics.truncated_nodes;
+        check_bool "sat calls counted" true
+          (r.Semantics.coverage.Semantics.sat_calls > 0);
+        check_bool "windows counted" true
+          (r.Semantics.coverage.Semantics.windows_built > 0));
+    Alcotest.test_case "fallback finds dead and constant nodes" `Quick
+      (fun () ->
+        let m = Bdd.manager () in
+        let check2 =
+          Semantics.analyze_report
+            ~check:(fun () -> raise (Careflow.Cutoff "test budget"))
+            m
+            ~var_of_input:(var_of_input_of (sem002_net ()))
+            (sem002_net ())
+        in
+        check_bool "sem002 via window" true (has "SEM002" check2.Semantics.findings);
+        let check3 =
+          Semantics.analyze_report
+            ~check:(fun () -> raise (Careflow.Cutoff "test budget"))
+            m
+            ~var_of_input:(var_of_input_of (sem003_net ()))
+            (sem003_net ())
+        in
+        check_bool "sem003 via window" true
+          (has ~loc:"z" "SEM003" check3.Semantics.findings));
+    Alcotest.test_case "clean exact run reports exact coverage" `Quick
+      (fun () ->
+        let net = sem001_net () in
+        let m = Bdd.manager () in
+        let r =
+          Semantics.analyze_report m ~var_of_input:(var_of_input_of net) net
+        in
+        check_int "windowed" 0 r.Semantics.coverage.Semantics.windowed_nodes;
+        check_int "truncated" 0 r.Semantics.coverage.Semantics.truncated_nodes;
+        check_int "exact" r.Semantics.coverage.Semantics.total_nodes
+          r.Semantics.coverage.Semantics.exact_nodes;
+        check_int "no sat calls" 0 r.Semantics.coverage.Semantics.sat_calls);
+  ]
+
+(* ---- the SAT audit ---- *)
+
+let sat_audit_tests =
+  [
+    Alcotest.test_case "audit_sat: disagreement with witness" `Quick (fun () ->
+        let golden, candidate = audit_nets () in
+        let r = Semantics.audit_sat ~golden ~candidate [ "x"; "y" ] in
+        check_int "refuted" 1 r.Semantics.outputs_refuted;
+        check_bool "sem007" true (has ~loc:"f" "SEM007" r.Semantics.audit_findings);
+        let f =
+          List.find (fun f -> f.Diagnostic.code = "SEM007") r.Semantics.audit_findings
+        in
+        (* the or/xor pair differs exactly at x=1 y=1 *)
+        check_bool "witness" true (contains f.Diagnostic.message "x=1 y=1"));
+    Alcotest.test_case "audit_sat: dc cubes mask the difference" `Quick
+      (fun () ->
+        let golden, candidate = audit_nets () in
+        let r =
+          Semantics.audit_sat
+            ~dc_cubes_of_output:(fun _ -> [ [ ("x", true); ("y", true) ] ])
+            ~golden ~candidate [ "x"; "y" ]
+        in
+        check_int "proved" 1 r.Semantics.outputs_proved;
+        check_bool "clean" true (r.Semantics.audit_findings = []));
+    Alcotest.test_case "audit_sat: identical networks prove clean" `Quick
+      (fun () ->
+        let golden, _ = audit_nets () in
+        let candidate, _ = audit_nets () in
+        let r = Semantics.audit_sat ~golden ~candidate [ "x"; "y" ] in
+        check_int "proved" 1 r.Semantics.outputs_proved;
+        check_int "refuted" 0 r.Semantics.outputs_refuted;
+        check_bool "clean" true (r.Semantics.audit_findings = []));
+    Alcotest.test_case "audit_sat: missing outputs reported" `Quick (fun () ->
+        let golden, _ = audit_nets () in
+        let candidate = Network.create () in
+        let x = Network.add_input candidate "x" in
+        Network.set_output candidate "g" x;
+        let r = Semantics.audit_sat ~golden ~candidate [ "x"; "y" ] in
+        check_bool "missing from candidate" true
+          (has ~loc:"f" "SEM007" r.Semantics.audit_findings);
+        check_bool "missing from golden" true
+          (has ~loc:"g" "SEM007" r.Semantics.audit_findings));
+  ]
+
 let props =
   [
     QCheck2.Test.make ~name:"deep checks are pure observers" ~count:25
@@ -296,8 +437,57 @@ let props =
           (s.Network.lut_count, s.Network.depth, s.Network.max_fanin)
         in
         run Diagnostic.Off = run Diagnostic.Deep);
+    QCheck2.Test.make
+      ~name:"whole-network windows match the exact SDC/ODC don't cares"
+      ~count:40
+      QCheck2.Gen.(int_range 0 100_000)
+      (fun seed ->
+        (* With unbounded depths a window is the whole circuit: the SAT
+           engine's complete don't cares must contain every exact
+           SDC/ODC don't care (the satellite soundness bound is the
+           other inclusion, so on these nets the two sets coincide). *)
+        let net =
+          Randnet.cones ~ninputs:5 ~noutputs:3 ~window:4 ~gates_per_output:5
+            ~seed ()
+        in
+        let m = Bdd.manager () in
+        let flow = Careflow.analyze m ~var_of_input:(var_of_input_of net) net in
+        let ctx = Window.context net in
+        let counters = Complete_dc.counters () in
+        flow.Careflow.truncated = None
+        && List.for_all
+             (fun info ->
+               match
+                 Complete_dc.analyze_node ~tfi_depth:max_int
+                   ~tfo_depth:max_int ~counters ctx info.Careflow.signal
+               with
+               | None -> true
+               | Some r ->
+                   r.Complete_dc.decided
+                   && List.for_all
+                        (fun c ->
+                          let exact_free =
+                            Bdd.is_zero
+                              (Bdd.and_ m
+                                 info.Careflow.code_sets.(c)
+                                 info.Careflow.observable)
+                          in
+                          let exact_unreachable =
+                            Bdd.is_zero info.Careflow.code_sets.(c)
+                          in
+                          let win_dc = not (Bv.get r.Complete_dc.care c) in
+                          let win_unreachable =
+                            not (Bv.get r.Complete_dc.reachable c)
+                          in
+                          exact_free = win_dc
+                          && exact_unreachable = win_unreachable)
+                        (List.init
+                           (1 lsl Bv.nvars r.Complete_dc.care)
+                           Fun.id))
+             flow.Careflow.nodes);
   ]
 
 let suite =
-  sem_tests @ audit_tests @ net007_tests @ determinism_tests
+  sem_tests @ audit_tests @ net007_tests @ determinism_tests @ windowed_tests
+  @ sat_audit_tests
   @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props
