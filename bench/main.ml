@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- quick    -- skip the slowest circuits
 
    Sections: table1 table2 figure2 figure3 ablation governor check
-   semantics optimize robdd batch serve timing
+   semantics optimize objective robdd batch serve timing
 
    Every run emits BENCH_<stamp>.json and BENCH_latest.json
    (Bench_report schema): per-section and per-run wall time, the
@@ -1085,6 +1085,100 @@ let timing _quick =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Objective: area / delay / balanced Pareto points                    *)
+(* ------------------------------------------------------------------ *)
+
+let objective_bench quick =
+  let load m name =
+    match Mcnc.find name with
+    | e -> e.Mcnc.build m
+    | exception Not_found -> (List.assoc name Extra.catalogue) m
+  in
+  let rows = ref [] and runs = ref [] and skipped = ref [] in
+  let eval ?(lut_size = 5) name =
+    let label =
+      if lut_size = 5 then name else Printf.sprintf "%s k=%d" name lut_size
+    in
+    let outcomes =
+      List.map
+        (fun objective ->
+          let m = Bdd.manager () in
+          let spec = load m name in
+          let o, wall, alloc, s =
+            with_run_stats (fun () ->
+                Mulop.run ~lut_size ~objective ~stats:!section_stats m
+                  Mulop.Mulop_dc spec)
+          in
+          assert (Driver.verify m spec o.Mulop.network);
+          runs :=
+            mk_run
+              ~algorithm:
+                (Printf.sprintf "mulop-dc/%s" (Cost.objective_name objective))
+              ~wall ~alloc ~stats:s ~luts:o.Mulop.lut_count
+              ~clbs:o.Mulop.clb_count ~depth:o.Mulop.depth label
+            :: !runs;
+          (o, wall))
+        [ Cost.Area; Cost.Delay; Cost.Balanced ]
+    in
+    match outcomes with
+    | [ (a, wa); (d, wd); (b, wb) ] ->
+        rows :=
+          row label
+            [
+              ("a-luts", R.Int a.Mulop.lut_count);
+              ("a-depth", R.Int a.Mulop.depth);
+              ("d-luts", R.Int d.Mulop.lut_count);
+              ("d-depth", R.Int d.Mulop.depth);
+              ("b-luts", R.Int b.Mulop.lut_count);
+              ("b-depth", R.Int b.Mulop.depth);
+              ("time", R.Secs (wa +. wd +. wb));
+            ]
+          :: !rows
+    | _ -> assert false
+  in
+  (* Circuits whose area mapping leaves depth on the table (multi-step
+     decompositions); apex7 only outside `quick` — its delay portfolio
+     is the one slow run of the section. *)
+  List.iter
+    (fun name ->
+      if quick && name = "apex7" then skipped := name :: !skipped
+      else eval name)
+    [ "t481"; "parity12"; "count"; "b9"; "duke2"; "apex7" ];
+  (* LUT-size sweep at a fixed circuit: the k = 4/6 end-to-end path
+     (CLI conventions, k-parametric CLB merging) exercised by the same
+     three objectives. *)
+  List.iter (fun k -> eval ~lut_size:k "5xp1") [ 4; 5; 6 ];
+  {
+    title =
+      "Objective: area/delay/balanced Pareto points (mulop-dc, n_LUT = 5 \
+       plus a k sweep)";
+    command = "dune exec bench/main.exe -- objective";
+    columns =
+      [
+        "circuit";
+        "a-luts";
+        "a-depth";
+        "d-luts";
+        "d-depth";
+        "b-luts";
+        "b-depth";
+        "time";
+      ];
+    rows = List.rev !rows;
+    runs = List.rev !runs;
+    notes =
+      [
+        "delay and balanced run the two-pass portfolio (arrival-aware pass \
+         raced against a plain area pass, winner by the objective's own \
+         order), so d-depth <= a-depth on every row by construction";
+        "5xp1 rows sweep the LUT size k; CLB counts use the k-parametric \
+         merge rule (two LUTs of <= k-1 inputs sharing <= k distinct \
+         inputs)";
+      ]
+      @ skip_note !skipped;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* CLI and main                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1099,6 +1193,7 @@ let all_sections =
     ("check", check_overhead);
     ("semantics", semantics_overhead);
     ("optimize", optimize_bench);
+    ("objective", objective_bench);
     ("robdd", robdd);
     ("batch", batch_scaling);
     ("serve", serve_bench);
@@ -1120,7 +1215,7 @@ let usage () =
     "usage: bench [SECTION...] [quick] [--out DIR] [--against FILE]\n\
     \             [--max-regress PCT] [--json] [--render-md [FILE]]\n\
      sections: table1 table2 figure2 figure3 ablation governor check\n\
-    \          semantics robdd batch serve timing";
+    \          semantics optimize objective robdd batch serve timing";
   exit 2
 
 let parse_cli () =

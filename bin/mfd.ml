@@ -79,6 +79,30 @@ let effort_conv =
   in
   Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (Budget.effort_name e))
 
+let objective_conv =
+  let parse s =
+    match Cost.objective_of_string s with
+    | Ok o -> Ok o
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun fmt o -> Format.pp_print_string fmt (Cost.objective_name o))
+
+let objective_arg =
+  Arg.(
+    value
+    & opt objective_conv Cost.Area
+    & info [ "objective" ] ~docv:"OBJ"
+        ~doc:
+          "Mapping objective: $(b,area) (the default — the paper's \
+           behaviour, unchanged), $(b,delay) (arrival-time-aware bound-set \
+           scoring, critical items first) or $(b,balanced) (area scoring \
+           with an arrival tie-in).  $(b,delay) and $(b,balanced) run a \
+           two-pass portfolio — the objective pass raced against a plain \
+           area pass — and keep the winner under the objective's own \
+           order, so $(b,delay) never produces a deeper network than \
+           $(b,area).")
+
 let timeout_arg =
   Arg.(
     value
@@ -134,7 +158,8 @@ let run_cmd =
   in
   let lut_size =
     Arg.(
-      value & opt int 5
+      value
+      & opt int Config.default.Config.lut_size
       & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT input count (2 for gates).")
   in
   let out_blif =
@@ -173,8 +198,8 @@ let run_cmd =
              $(b,BENCH_*.json).  Suppresses the text summary; file outputs \
              and exit codes are unchanged.")
   in
-  let run target algorithm lut_size out_blif out_dot verify verbose stats json
-      checks timeout node_budget effort =
+  let run target algorithm lut_size objective out_blif out_dot verify verbose
+      stats json checks timeout node_budget effort =
     setup_logs verbose;
     let run_stats = Stats.create () in
     let m = Bdd.manager () in
@@ -195,8 +220,8 @@ let run_cmd =
         let budget = make_budget timeout node_budget effort ~stats:run_stats () in
         let outcome, wall, alloc =
           Bench_report.measure (fun () ->
-              Mulop.run ~lut_size ~budget ~checks ~stats:run_stats m algorithm
-                spec)
+              Mulop.run ~lut_size ~objective ~budget ~checks ~stats:run_stats
+                m algorithm spec)
         in
         let verified =
           if verify then Some (Driver.verify m spec outcome.Mulop.network)
@@ -258,9 +283,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Decompose a benchmark or file into a LUT network.")
     Term.(
-      const run $ target $ algorithm $ lut_size $ out_blif $ out_dot $ verify
-      $ verbose $ stats $ json $ check_arg $ timeout_arg $ node_budget_arg
-      $ effort_arg)
+      const run $ target $ algorithm $ lut_size $ objective_arg $ out_blif
+      $ out_dot $ verify $ verbose $ stats $ json $ check_arg $ timeout_arg
+      $ node_budget_arg $ effort_arg)
 
 let list_cmd =
   let list () =
@@ -287,14 +312,18 @@ let compare_cmd =
       & info [] ~docv:"TARGET" ~doc:"Benchmark name, .blif or .pla file.")
   in
   let lut_size =
-    Arg.(value & opt int 5 & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT inputs.")
+    Arg.(
+      value
+      & opt int Config.default.Config.lut_size
+      & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT inputs.")
   in
   let stats =
     Arg.(
       value & flag
       & info [ "stats" ] ~doc:"Print decomposition statistics per algorithm.")
   in
-  let compare target lut_size stats checks timeout node_budget effort =
+  let compare target lut_size objective stats checks timeout node_budget
+      effort =
     setup_logs false;
     let m = Bdd.manager () in
     match load_spec m target with
@@ -311,7 +340,10 @@ let compare_cmd =
         Printf.eprintf "%s:%d: %s\n" target line msg;
         exit 1
     | spec, name ->
-        Format.printf "%s (lut size %d):@." name lut_size;
+        Format.printf "%s (lut size %d%s):@." name lut_size
+          (match objective with
+          | Cost.Area -> ""
+          | o -> ", objective " ^ Cost.objective_name o);
         let all_findings = ref [] in
         List.iter
           (fun alg ->
@@ -319,7 +351,10 @@ let compare_cmd =
             let budget =
               make_budget timeout node_budget effort ~stats:run_stats ()
             in
-            let o = Mulop.run ~lut_size ~budget ~checks ~stats:run_stats m alg spec in
+            let o =
+              Mulop.run ~lut_size ~objective ~budget ~checks ~stats:run_stats
+                m alg spec
+            in
             Format.printf "  %a@." Mulop.pp_outcome o;
             if stats then Format.printf "  %a@." Stats.pp run_stats;
             if o.Mulop.findings <> [] then
@@ -332,8 +367,8 @@ let compare_cmd =
     (Cmd.info "compare"
        ~doc:"Run all three algorithms on one target and compare counts.")
     Term.(
-      const compare $ target $ lut_size $ stats $ check_arg $ timeout_arg
-      $ node_budget_arg $ effort_arg)
+      const compare $ target $ lut_size $ objective_arg $ stats $ check_arg
+      $ timeout_arg $ node_budget_arg $ effort_arg)
 
 let batch_cmd =
   let targets =
@@ -362,7 +397,10 @@ let batch_cmd =
           ~doc:"One of $(b,mulopII), $(b,mulop-dc), $(b,mulop-dcII).")
   in
   let lut_size =
-    Arg.(value & opt int 5 & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT inputs.")
+    Arg.(
+      value
+      & opt int Config.default.Config.lut_size
+      & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT inputs.")
   in
   let json =
     Arg.(
@@ -381,8 +419,8 @@ let batch_cmd =
       value & flag
       & info [ "stats" ] ~doc:"Append each job's statistics block to the table.")
   in
-  let batch targets jobs algorithm lut_size json verify stats checks timeout
-      node_budget effort =
+  let batch targets jobs algorithm lut_size objective json verify stats
+      checks timeout node_budget effort =
     setup_logs false;
     let job_of target =
       let name =
@@ -414,8 +452,8 @@ let batch_cmd =
                      Printf.sprintf "%s:%d: %s" target line msg )))
     in
     let report =
-      Batch.run ~jobs ~lut_size ~algorithm ?timeout ?node_budget ?effort
-        ~checks ~verify
+      Batch.run ~jobs ~lut_size ~objective ~algorithm ?timeout ?node_budget
+        ?effort ~checks ~verify
         (List.map job_of targets)
     in
     if json then print_string (Batch.to_json report)
@@ -456,7 +494,8 @@ let batch_cmd =
                raised, or verification failed.";
          ])
     Term.(
-      const batch $ targets $ jobs $ algorithm $ lut_size $ json $ verify
+      const batch $ targets $ jobs $ algorithm $ lut_size $ objective_arg
+      $ json $ verify
       $ stats $ check_arg $ timeout_arg $ node_budget_arg $ effort_arg)
 
 let lint_cmd =
@@ -1240,7 +1279,8 @@ let submit_cmd =
   in
   let lut_size =
     Arg.(
-      value & opt int 5
+      value
+      & opt int Config.default.Config.lut_size
       & info [ "k"; "lut-size" ] ~docv:"K" ~doc:"LUT input count (2 for gates).")
   in
   let out_blif =

@@ -196,11 +196,16 @@ let global_of t s =
 
 let limiter ?max_nodes ?timeout m () =
   let node_limit = Option.map (fun b -> Bdd.node_count m + b) max_nodes in
-  let deadline = Option.map (fun secs -> Sys.time () +. secs) timeout in
+  (* The deadline is wall time on the monotonic clock, never processor
+     time: a CPU-time clock advances at N-times the wall rate under
+     worker domains (a --sem-timeout would fire early), and while the
+     process blocks it barely advances (the timeout would never fire).
+     CI greps lib/ to keep it that way. *)
+  let deadline = Option.map (fun secs -> Mono.now () +. secs) timeout in
   fun () ->
     (match node_limit with
     | Some limit when Bdd.node_count m > limit -> raise (Cutoff "node budget")
     | Some _ | None -> ());
     match deadline with
-    | Some d when Sys.time () > d -> raise (Cutoff "deadline")
+    | Some d when Mono.now () > d -> raise (Cutoff "deadline")
     | Some _ | None -> ()

@@ -362,9 +362,11 @@ let analyze_report ?care_of_output ?check ?(sat_fallback = true)
       in
       let ctx = Window.context net in
       let counters = Complete_dc.counters () in
-      let deadline = Sys.time () +. sat_timeout in
+      (* wall time (monotonic), not processor time — see
+         [Careflow.limiter] *)
+      let deadline = Mono.now () +. sat_timeout in
       let sat_check () =
-        if Sys.time () > deadline then
+        if Mono.now () > deadline then
           raise (Careflow.Cutoff "windowed-analysis timeout")
       in
       let results = ref [] in

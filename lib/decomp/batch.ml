@@ -71,11 +71,13 @@ type report = { results : job_report list; domains : int; wall : float }
    [Error].  This is the shared engine of [run_job] and of the serve
    daemon's workers (which must build the spec themselves first, to
    fingerprint it for the cross-request cache). *)
-let run_one ?lut_size ?timeout ?node_budget ?effort ?checks ?(verify = false)
-    ~stats algorithm m spec =
+let run_one ?lut_size ?objective ?timeout ?node_budget ?effort ?checks
+    ?(verify = false) ~stats algorithm m spec =
   match
     let budget = Budget.create ?timeout ?node_budget ?effort ~stats () in
-    let o = Mulop.run ?lut_size ~budget ?checks ~stats m algorithm spec in
+    let o =
+      Mulop.run ?lut_size ?objective ~budget ?checks ~stats m algorithm spec
+    in
     let verified =
       if verify then Some (Driver.verify m spec o.Mulop.network) else None
     in
@@ -103,8 +105,8 @@ let run_one ?lut_size ?timeout ?node_budget ?effort ?checks ?(verify = false)
    confined to this job's row instead of aborting the batch.  Timing is
    monotonic: a wall-clock (NTP) step mid-job must not produce negative
    [seconds]. *)
-let run_job ?lut_size ?timeout ?node_budget ?effort ?checks ?verify algorithm
-    jb =
+let run_job ?lut_size ?objective ?timeout ?node_budget ?effort ?checks
+    ?verify algorithm jb =
   let stats = Stats.create () in
   let t0 = Mono.now () in
   let outcome =
@@ -114,13 +116,13 @@ let run_job ?lut_size ?timeout ?node_budget ?effort ?checks ?verify algorithm
     with
     | exception e -> Error (classify e)
     | m, spec ->
-        run_one ?lut_size ?timeout ?node_budget ?effort ?checks ?verify ~stats
-          algorithm m spec
+        run_one ?lut_size ?objective ?timeout ?node_budget ?effort ?checks
+          ?verify ~stats algorithm m spec
   in
   { job = jb.name; outcome; seconds = Mono.now () -. t0; stats }
 
-let run ?(jobs = 1) ?lut_size ?(algorithm = Mulop.Mulop_dc) ?timeout
-    ?node_budget ?effort ?checks ?verify job_list =
+let run ?(jobs = 1) ?lut_size ?objective ?(algorithm = Mulop.Mulop_dc)
+    ?timeout ?node_budget ?effort ?checks ?verify job_list =
   let arr = Array.of_list job_list in
   let n = Array.length arr in
   let results = Array.make n None in
@@ -131,8 +133,8 @@ let run ?(jobs = 1) ?lut_size ?(algorithm = Mulop.Mulop_dc) ?timeout
       if i < n then begin
         results.(i) <-
           Some
-            (run_job ?lut_size ?timeout ?node_budget ?effort ?checks ?verify
-               algorithm arr.(i));
+            (run_job ?lut_size ?objective ?timeout ?node_budget ?effort
+               ?checks ?verify algorithm arr.(i));
         loop ()
       end
     in

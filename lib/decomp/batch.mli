@@ -103,6 +103,7 @@ type report = {
 
 val run_one :
   ?lut_size:int ->
+  ?objective:Cost.objective ->
   ?timeout:float ->
   ?node_budget:int ->
   ?effort:Budget.effort ->
@@ -123,6 +124,7 @@ val run_one :
 
 val run_job :
   ?lut_size:int ->
+  ?objective:Cost.objective ->
   ?timeout:float ->
   ?node_budget:int ->
   ?effort:Budget.effort ->
@@ -137,6 +139,7 @@ val run_job :
 val run :
   ?jobs:int ->
   ?lut_size:int ->
+  ?objective:Cost.objective ->
   ?algorithm:Mulop.algorithm ->
   ?timeout:float ->
   ?node_budget:int ->
@@ -148,7 +151,9 @@ val run :
 (** Decompose every job.  [jobs] (default 1) is the number of worker
     domains, clamped to the job count; [timeout]/[node_budget]/[effort]
     parameterize a {e fresh} {!Budget.t} per job (the timeout is per
-    job, not for the whole batch).  [verify] (default [false]) re-checks
+    job, not for the whole batch).  [objective] (default {!Cost.Area})
+    is threaded to {!Mulop.run} — delay/balanced jobs run the two-pass
+    portfolio inside their own domain.  [verify] (default [false]) re-checks
     every produced network against its specification by BDD
     equivalence.  [checks] is threaded to the driver's assertion layer.
     Raises only on asynchronous exceptions (e.g. an interrupt); job

@@ -1,6 +1,6 @@
-let worst = (max_int, max_int)
+let worst = Cost.worst
 
-let score ?cache ?stats ?(lut_size = max_int) m isfs bound =
+let score ?cache ?stats ?(lut_size = max_int) ?(cost = Cost.area) m isfs bound =
   let stats =
     match cache with
     | Some c -> Score_cache.stats c
@@ -26,7 +26,7 @@ let score ?cache ?stats ?(lut_size = max_int) m isfs bound =
   if relevant = [] then worst
   else begin
     let key () =
-      Score_cache.score_key m ~lut_size (List.map fst relevant) bound
+      Score_cache.score_key m ~lut_size ~cost (List.map fst relevant) bound
     in
     let memo =
       match cache with
@@ -75,7 +75,7 @@ let score ?cache ?stats ?(lut_size = max_int) m isfs bound =
            one LUT when the bound set fits a LUT and a small sub-network
            otherwise. *)
         let p = List.length bound in
-        let cost =
+        let realization =
           (* Bound sets within the LUT size pay nothing extra: their
              functions are single LUTs either way.  Oversized (Curtis) bound
              sets pay the sub-network realization of each estimated
@@ -88,18 +88,22 @@ let score ?cache ?stats ?(lut_size = max_int) m isfs bound =
            sizes the paper's criterion — minimize the communication
            complexity [ncc(f, B)] of the step — comes first and the
            reduction only breaks ties. *)
-        let result =
-          if lut_size <= 3 then (-(reduction - cost), joint)
-          else (joint + cost, -reduction)
+        let pair =
+          if lut_size <= 3 then (-(reduction - realization), joint)
+          else (joint + realization, -reduction)
         in
+        (* The objective owns the leading component: 0 under Area (the
+           ordering collapses to the classical pair), the arrival time
+           of the would-be decomposition functions under Delay. *)
+        let result = Cost.triple cost ~bound pair in
         (match cache with
         | Some c -> Score_cache.add_score c (key ()) result
         | None -> ());
         result
   end
 
-let select_with_target ?cache ?(check = ignore) ?(min_size = 2) m cfg ~groups
-    ~eligible isfs target =
+let select_with_target ?cache ?cost ?(check = ignore) ?(min_size = 2) m cfg
+    ~groups ~eligible isfs target =
   if target < 2 then None
   else begin
     let in_eligible v = List.mem v eligible in
@@ -158,7 +162,9 @@ let select_with_target ?cache ?(check = ignore) ?(min_size = 2) m cfg ~groups
                 List.map
                   (fun piece ->
                     let cand = List.sort compare (piece @ current) in
-                    (score ?cache ~lut_size:cfg.Config.lut_size m isfs cand, piece))
+                    ( score ?cache ~lut_size:cfg.Config.lut_size ?cost m isfs
+                        cand,
+                      piece ))
                   extensions
               in
               let best =
@@ -229,7 +235,7 @@ let select_with_target ?cache ?(check = ignore) ?(min_size = 2) m cfg ~groups
       | first :: rest ->
           let rate cand =
             check ();
-            score ?cache ~lut_size:cfg.Config.lut_size m isfs cand
+            score ?cache ~lut_size:cfg.Config.lut_size ?cost m isfs cand
           in
           Some
             (List.fold_left
@@ -244,12 +250,13 @@ let select_with_target ?cache ?(check = ignore) ?(min_size = 2) m cfg ~groups
     | None -> None
   end
 
-let select ?cache ?check m cfg ~groups ~eligible isfs =
+let select ?cache ?cost ?check m cfg ~groups ~eligible isfs =
   let eligible = List.sort_uniq compare eligible in
   let n = List.length eligible in
   let lut_target = min cfg.Config.lut_size (n - 1) in
   match
-    select_with_target ?cache ?check m cfg ~groups ~eligible isfs lut_target
+    select_with_target ?cache ?cost ?check m cfg ~groups ~eligible isfs
+      lut_target
   with
   | Some (_, cand) -> Some cand
   | None -> None
@@ -259,7 +266,8 @@ let select ?cache ?check m cfg ~groups ~eligible isfs =
    offered when its net benefit is positive — the driver asks for it
    after a LUT-sized step failed to make progress (symmetric
    carry/weight functions at small LUT sizes need exactly this). *)
-let select_curtis ?cache ?check ?(extra = 1) m cfg ~groups ~eligible isfs =
+let select_curtis ?cache ?cost ?check ?(extra = 1) m cfg ~groups ~eligible isfs
+    =
   let eligible = List.sort_uniq compare eligible in
   let n = List.length eligible in
   let lut_target = min cfg.Config.lut_size (n - 1) in
@@ -267,8 +275,8 @@ let select_curtis ?cache ?check ?(extra = 1) m cfg ~groups ~eligible isfs =
   if extended <= lut_target then None
   else
     match
-      select_with_target ?cache ?check ~min_size:(lut_target + 1) m cfg ~groups
-        ~eligible isfs extended
+      select_with_target ?cache ?cost ?check ~min_size:(lut_target + 1) m cfg
+        ~groups ~eligible isfs extended
     with
     | Some (_, cand) ->
         (* The caller only asks after a LUT-sized step failed, where the

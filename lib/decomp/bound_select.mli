@@ -11,29 +11,36 @@ val score :
   ?cache:Score_cache.t ->
   ?stats:Stats.t ->
   ?lut_size:int ->
+  ?cost:Cost.t ->
   Bdd.manager ->
   Isf.t list ->
   int list ->
-  int * int
+  int * int * int
 (** Candidate quality, lexicographically smaller = better.  With
     [cache], cofactor vectors and whole scores are memoized (and scores
-    are keyed by [lut_size], so both scoring modes can share one cache
-    without mixing); the result is identical with and without a cache.
+    are keyed by [lut_size] and the objective's {!Cost.key_of}
+    fragment, so every scoring mode can share one cache without
+    mixing); the result is identical with and without a cache.
     Counters land in the cache's stats when a cache is given, else in
     [stats] (else in a fresh throwaway).  A bound set that overlaps no
-    ISF support scores worst-possible in both orderings — it reduces
+    ISF support scores worst-possible in every ordering — it reduces
     nothing, so it must never beat a genuine candidate.
-    The first
-    component is the negated net benefit: the total support reduction
+
+    The leading component belongs to [cost] (default {!Cost.area}):
+    constantly 0 under [Area] — the ordering is then exactly the
+    classical pair — and the candidate's {!Cost.step_arrival} under
+    [Delay].  The area pair behind it: at [lut_size <= 3] the negated
+    net benefit — the total support reduction
     [sum_i (|B inter supp f_i| - r_i)] (with [r_i = ceil log2] of the
     distinct-cofactor count) minus the estimated realization cost of the
     decomposition functions ([ceil log2] of the joint class count, times
-    the LUTs each function needs given [lut_size]).  The second component
-    is the joint distinct-cofactor count — the sharing potential of the
-    paper's step 2. *)
+    the LUTs each function needs given [lut_size]) — then the joint
+    distinct-cofactor count; at realistic LUT sizes the communication
+    complexity [ncc(f, B)] comes first and the reduction breaks ties. *)
 
 val select :
   ?cache:Score_cache.t ->
+  ?cost:Cost.t ->
   ?check:(unit -> unit) ->
   Bdd.manager ->
   Config.t ->
@@ -43,12 +50,15 @@ val select :
   int list option
 (** Choose a bound set of size [min cfg.lut_size (|eligible| - 1)] from
     the eligible variables ([None] if fewer than 2 are eligible or no
-    set of size >= 2 fits).  The returned list is ascending.  [check]
-    (default a no-op) is polled once per candidate scored and may raise
-    to abandon the search — the {!Budget} governor polls here. *)
+    set of size >= 2 fits).  The returned list is ascending.  [cost]
+    (default {!Cost.area}) supplies the objective every candidate is
+    scored under.  [check] (default a no-op) is polled once per
+    candidate scored and may raise to abandon the search — the
+    {!Budget} governor polls here. *)
 
 val select_curtis :
   ?cache:Score_cache.t ->
+  ?cost:Cost.t ->
   ?check:(unit -> unit) ->
   ?extra:int ->
   Bdd.manager ->

@@ -8,18 +8,21 @@ let distinct_inputs net u v =
   in
   List.length ins
 
-let mergeable net u v =
+(* The XC3000 rule, parametric in the LUT size [k]: two functions of up
+   to [k - 1] inputs each sharing at most [k] distinct inputs fit one
+   CLB.  At the paper's k = 5 this is exactly the 4/4/5 rule. *)
+let mergeable ?(lut_size = 5) net u v =
   (not (Network.signal_equal u v))
-  && List.length (Network.fanins net u) <= 4
-  && List.length (Network.fanins net v) <= 4
-  && distinct_inputs net u v <= 5
+  && List.length (Network.fanins net u) <= lut_size - 1
+  && List.length (Network.fanins net v) <= lut_size - 1
+  && distinct_inputs net u v <= lut_size
 
-let merge_graph net =
+let merge_graph ?lut_size net =
   let luts = Array.of_list (Network.lut_signals net) in
   let g = Ugraph.create (Array.length luts) in
   for a = 0 to Array.length luts - 1 do
     for b = a + 1 to Array.length luts - 1 do
-      if mergeable net luts.(a) luts.(b) then Ugraph.add_edge g a b
+      if mergeable ?lut_size net luts.(a) luts.(b) then Ugraph.add_edge g a b
     done
   done;
   (luts, g)
@@ -27,8 +30,8 @@ let merge_graph net =
 (* The merge graph is quadratic in the LUT count; build it (and the
    matching) once per query and derive both the pairs and the count
    from the same matching. *)
-let matching_of policy net =
-  let luts, g = merge_graph net in
+let matching_of ?lut_size policy net =
+  let luts, g = merge_graph ?lut_size net in
   let matching =
     match policy with
     | First_fit -> Matching.greedy g
@@ -36,12 +39,12 @@ let matching_of policy net =
   in
   (luts, matching)
 
-let pairs_with_lut_count policy net =
-  let luts, matching = matching_of policy net in
+let pairs_with_lut_count ?lut_size policy net =
+  let luts, matching = matching_of ?lut_size policy net in
   (List.map (fun (a, b) -> (luts.(a), luts.(b))) matching, Array.length luts)
 
-let pairs policy net = fst (pairs_with_lut_count policy net)
+let pairs ?lut_size policy net = fst (pairs_with_lut_count ?lut_size policy net)
 
-let clb_count policy net =
-  let pairs, lut_count = pairs_with_lut_count policy net in
+let clb_count ?lut_size policy net =
+  let pairs, lut_count = pairs_with_lut_count ?lut_size policy net in
   lut_count - List.length pairs

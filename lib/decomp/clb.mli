@@ -5,21 +5,34 @@
     distinct inputs.  Pairing LUTs to minimize the CLB count is a
     maximum-cardinality matching problem on the "mergeable" graph
     (Murgai et al., DAC'90); the paper's [mulop-dc] uses a simple
-    first-fit pairing, [mulop-dcII] the exact matching. *)
+    first-fit pairing, [mulop-dcII] the exact matching.
+
+    Every entry point takes the LUT size [k] (default 5, the XC3000):
+    the pairing rule generalizes to two functions of up to [k - 1]
+    inputs sharing at most [k] distinct inputs, so CLB counts stay
+    meaningful for the k = 4 and k = 6 experiments. *)
 
 type policy = First_fit | Max_matching
 
-val mergeable : Network.t -> Network.signal -> Network.signal -> bool
-(** Can the two LUTs share one XC3000 CLB? *)
+val mergeable :
+  ?lut_size:int -> Network.t -> Network.signal -> Network.signal -> bool
+(** Can the two LUTs share one CLB of the given size? *)
 
-val pairs : policy -> Network.t -> (Network.signal * Network.signal) list
+val pairs :
+  ?lut_size:int ->
+  policy ->
+  Network.t ->
+  (Network.signal * Network.signal) list
 
 val pairs_with_lut_count :
-  policy -> Network.t -> (Network.signal * Network.signal) list * int
+  ?lut_size:int ->
+  policy ->
+  Network.t ->
+  (Network.signal * Network.signal) list * int
 (** The merged pairs together with the network's LUT count, from a
     single construction of the (quadratic) merge graph — for callers
     that need both the pairing and the CLB count. *)
 
-val clb_count : policy -> Network.t -> int
+val clb_count : ?lut_size:int -> policy -> Network.t -> int
 (** [lut_count - number of merged pairs].  Derived from
     {!pairs_with_lut_count}; one merge-graph construction. *)

@@ -2,6 +2,7 @@ type dc_steps = { symmetry : bool; sharing : bool; cms : bool }
 
 type t = {
   lut_size : int;
+  objective : Cost.objective;
   dc_steps : dc_steps;
   zero_dc_on_entry : bool;
   seeds : int;
@@ -12,6 +13,7 @@ type t = {
 let mulop_dc =
   {
     lut_size = 5;
+    objective = Cost.Area;
     dc_steps = { symmetry = true; sharing = true; cms = true };
     zero_dc_on_entry = false;
     seeds = 4;
@@ -29,7 +31,12 @@ let mulop_ii =
   }
 
 let with_lut_size lut_size t = { t with lut_size }
+let with_objective objective t = { t with objective }
 
 let pp fmt t =
   Format.fprintf fmt "lut=%d sym=%b share=%b cms=%b zero_dc=%b" t.lut_size
-    t.dc_steps.symmetry t.dc_steps.sharing t.dc_steps.cms t.zero_dc_on_entry
+    t.dc_steps.symmetry t.dc_steps.sharing t.dc_steps.cms t.zero_dc_on_entry;
+  (* area-mode output stays byte-identical to the pre-objective engine *)
+  match t.objective with
+  | Cost.Area -> ()
+  | o -> Format.fprintf fmt " objective=%s" (Cost.objective_name o)

@@ -15,6 +15,10 @@ type dc_steps = {
 
 type t = {
   lut_size : int;  (** [n_LUT]; 5 for the XC3000 experiments, 2 for gates *)
+  objective : Cost.objective;
+      (** bound-set scoring objective: {!Cost.Area} (the default, the
+          paper's behaviour), {!Cost.Delay} (arrival-time-aware,
+          critical-path-first) or {!Cost.Balanced} *)
   dc_steps : dc_steps;
   zero_dc_on_entry : bool;
       (** assign every don't care to 0 as soon as it appears — the
@@ -37,4 +41,5 @@ val mulop_dc : t
 (** The paper's algorithm: three-step don't-care assignment. *)
 
 val with_lut_size : int -> t -> t
+val with_objective : Cost.objective -> t -> t
 val pp : Format.formatter -> t -> unit

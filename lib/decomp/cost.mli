@@ -1,0 +1,58 @@
+(** Pluggable bound-set cost functions: the mapping objective.
+
+    {!Bound_select.score} ranks candidates by a lexicographic triple
+    [(objective term, communication complexity, support reduction)].
+    This module computes the first component from a per-variable
+    {e arrival time} oracle, giving the engine a delay-driven mode
+    (critical-path-aware bound sets, following Tempia Calvino et al.,
+    "Practical Boolean Decomposition for Delay-driven LUT Mapping")
+    without touching the paper's area machinery: under {!Area} the
+    term is constantly 0 and the ordering is bit-identical to the
+    classical pair. *)
+
+type objective =
+  | Area  (** LUT/CLB count only — the paper's behaviour, the default *)
+  | Delay
+      (** arrival-time increase first: prefer bound sets of
+          early-arriving signals, keep critical signals in the free set *)
+  | Balanced
+      (** the arrival term added into the area component instead of
+          dominating it *)
+
+val objective_name : objective -> string
+(** ["area"], ["delay"], ["balanced"] — stable CLI/report names. *)
+
+val objective_of_string : string -> (objective, string) result
+
+type t = {
+  objective : objective;
+  arrival : int -> int;
+      (** level of the signal realizing a decomposition variable: 0
+          for primary inputs, {!Network.level} for emitted
+          decomposition functions.  Never consulted under {!Area}. *)
+}
+
+val area : t
+(** The zero cost function: objective {!Area}, arrival constantly 0. *)
+
+val make : objective -> arrival:(int -> int) -> t
+(** [make Area ~arrival] ignores [arrival] and returns {!area}, so an
+    area-mode run cannot accidentally depend on network state. *)
+
+val step_arrival : t -> int list -> int
+(** Arrival of the decomposition functions a bound set would create:
+    [1 + max (arrival v)] over the bound variables. *)
+
+val triple : t -> bound:int list -> int * int -> int * int * int
+(** Extend the area pair [(a1, a2)] with the objective term for
+    [bound]: [Area → (0, a1, a2)], [Delay → (step_arrival, a1, a2)],
+    [Balanced → (0, a1 + step_arrival, a2)].  Lexicographically
+    smaller is better in every mode. *)
+
+val key_of : t -> int list -> int * int list
+(** The cache-key fragment of a score query: an objective tag plus the
+    arrival profile of the bound set ([(0, [])] under {!Area}, whose
+    scores are arrival-independent). *)
+
+val worst : int * int * int
+(** Worse than any genuine candidate in every objective. *)

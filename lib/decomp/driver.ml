@@ -101,6 +101,18 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
   List.iteri
     (fun k name -> Hashtbl.replace signal_of_var k (Network.add_input net name))
     spec.input_names;
+  (* Arrival time of a variable: the LUT level of the signal realizing
+     it, read from the network as it stands when the score is taken —
+     inputs at 0, decomposition-function outputs at their emission
+     depth, not-yet-emitted variables optimistically at 0.  Under the
+     [Area] objective the cost ignores arrivals entirely, so the area
+     path stays byte-identical. *)
+  let arrival v =
+    match Hashtbl.find_opt signal_of_var v with
+    | Some s -> Network.level net s
+    | None -> 0
+  in
+  let cost = Cost.make cfg.Config.objective ~arrival in
   (* Fresh variables (decomposition-function outputs) are allocated
      with negative indices, i.e. ABOVE the inputs in the BDD order.
      With the alpha variables on top, a composition function is a
@@ -346,7 +358,7 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
     let select_check = Budget.checker budget ~where:"bound-select" in
     let bound =
       match
-        Bound_select.select ~cache ~check:select_check m cfg ~groups
+        Bound_select.select ~cache ~cost ~check:select_check m cfg ~groups
           ~eligible:region (Array.to_list isfs)
       with
       | Some b -> b
@@ -378,10 +390,10 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
                    the reduction-first one. *)
                 if
                   unchanged
-                  || Bound_select.score ~cache ~lut_size:cfg.Config.lut_size m
-                       fs' bound
+                  || Bound_select.score ~cache ~lut_size:cfg.Config.lut_size
+                       ~cost m fs' bound
                      < Bound_select.score ~cache ~lut_size:cfg.Config.lut_size
-                         m fs bound
+                         ~cost m fs bound
                 then begin
                   committed_groups := inside :: !committed_groups;
                   fs'
@@ -521,8 +533,8 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
     let curtis extra =
       cfg.Config.lut_size <= 3
       && (match
-            Bound_select.select_curtis ~cache ~check:select_check ~extra m cfg
-              ~groups ~eligible:region (Array.to_list isfs)
+            Bound_select.select_curtis ~cache ~cost ~check:select_check ~extra
+              m cfg ~groups ~eligible:region (Array.to_list isfs)
           with
          | Some b2 when b2 <> bound -> try_step b2
          | Some _ | None -> false)
@@ -565,10 +577,33 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
           raise (Internal Worklist_deadlock)
       | _ ->
           let primary =
-            List.fold_left
-              (fun best it ->
-                if support_size it > support_size best then it else best)
-              (List.hd decomposable) (List.tl decomposable)
+            match cfg.Config.objective with
+            | Cost.Area ->
+                List.fold_left
+                  (fun best it ->
+                    if support_size it > support_size best then it else best)
+                  (List.hd decomposable) (List.tl decomposable)
+            | Cost.Delay | Cost.Balanced ->
+                (* Critical-path-first: attack the item whose available
+                   inputs are deepest — the one currently defining the
+                   network's arrival profile — so its steps get first
+                   pick of shallow bound sets; ties fall back to the
+                   area rule (largest support). *)
+                let criticality it =
+                  List.fold_left
+                    (fun acc v -> max acc (arrival v))
+                    0
+                    (List.filter bound_var (Isf.support m it.isf))
+                in
+                List.fold_left
+                  (fun best it ->
+                    let c = criticality it and cb = criticality best in
+                    if
+                      c > cb
+                      || (c = cb && support_size it > support_size best)
+                    then it
+                    else best)
+                  (List.hd decomposable) (List.tl decomposable)
           in
           if Budget.stage budget = Budget.Shannon_only then
             (* Terminal degradation: no more decomposition attempts,

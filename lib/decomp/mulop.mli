@@ -22,10 +22,16 @@ type outcome = {
 }
 
 val algorithm_name : algorithm -> string
-val config_of : ?lut_size:int -> algorithm -> Config.t
+
+val config_of :
+  ?lut_size:int -> ?objective:Cost.objective -> algorithm -> Config.t
+(** [lut_size] defaults to [Config.default.lut_size] (a single source of
+    truth — no duplicated literal to drift); [objective] defaults to
+    {!Cost.Area}. *)
 
 val run :
   ?lut_size:int ->
+  ?objective:Cost.objective ->
   ?budget:Budget.t ->
   ?checks:Diagnostic.level ->
   ?stats:Stats.t ->
@@ -37,7 +43,17 @@ val run :
     [budget] (default {!Budget.unlimited}): pass a fresh one per call.
     [checks] (default [Off]) enables the driver's assertion layer;
     checks never change the produced network.  [stats] collects the
-    run's counters and phase timings (default: a fresh throwaway). *)
+    run's counters and phase timings (default: a fresh throwaway).
+
+    [objective] (default {!Cost.Area}) selects the bound-set scoring
+    objective.  [Area] runs the driver once, exactly as before this
+    option existed.  [Delay] and [Balanced] run a two-pass portfolio —
+    the arrival-aware pass and a plain area pass on the same manager —
+    and keep the winner under the objective's own order ([Delay]:
+    lexicographic [(depth, luts, clbs)]; [Balanced]:
+    [(luts + depth, depth, luts)]), so a delay-driven run never ends
+    deeper than the area run it raced.  The two passes share [budget]
+    and [stats]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One-line summary; appends [degraded=<stage>] only when the run was

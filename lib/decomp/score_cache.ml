@@ -11,8 +11,8 @@
    of a rewritten ISF can never be looked up by mistake — invalidation
    ([retain]) is purely about bounding memory, never about correctness.
 
-   Scores (pairs of ints) are manager-independent and persist across
-   managers.  Cofactor vectors are not: they hold Isf.t values tied to
+   Scores (triples of ints — the objective term plus the classical
+   area pair) are manager-independent and persist across managers.  Cofactor vectors are not: they hold Isf.t values tied to
    the manager that built them, so the vector table is flushed whenever
    the cache is presented with a different manager (physical equality
    on the manager value).
@@ -30,12 +30,12 @@ type isf_key = string * string
 
 let isf_key m f = (Bdd.fingerprint m (Isf.on f), Bdd.fingerprint m (Isf.dc f))
 
-type score_key = int * int list * isf_key list
+type score_key = int * (int * int list) * int list * isf_key list
 
 type t = {
   stats : Stats.t;
   cof : (isf_key * int list, Isf.t array) Hashtbl.t;
-  scores : (score_key, int * int) Hashtbl.t;
+  scores : (score_key, int * int * int) Hashtbl.t;
   (* the manager whose Isf.t values the [cof] table currently holds *)
   mutable cof_manager : Bdd.manager option;
 }
@@ -112,8 +112,13 @@ let cofactor_vector t m f bound =
       else t.stats.Stats.cof_fresh <- t.stats.Stats.cof_fresh + 1;
       vec
 
-let score_key m ~lut_size isfs bound =
-  (lut_size, bound, List.map (isf_key m) isfs)
+let score_key m ~lut_size ?(cost = Cost.area) isfs bound =
+  (* The cost fragment carries the objective tag and (for the
+     arrival-aware objectives) the arrival profile the score was
+     computed under, so one cache serves every mode — and every
+     network state — without mixing.  Area scores are
+     arrival-independent and share one key shape across runs. *)
+  (lut_size, Cost.key_of cost bound, bound, List.map (isf_key m) isfs)
 
 let find_score t key = Hashtbl.find_opt t.scores key
 let add_score t key value = Hashtbl.replace t.scores key value
@@ -127,7 +132,7 @@ let retain t m ~live =
     (fun (fk, _) vec -> if Hashtbl.mem alive fk then Some vec else None)
     t.cof;
   Hashtbl.filter_map_inplace
-    (fun (_, _, fks) s ->
+    (fun (_, _, _, fks) s ->
       if List.for_all (Hashtbl.mem alive) fks then Some s else None)
     t.scores;
   let after = Hashtbl.length t.cof + Hashtbl.length t.scores in

@@ -39,14 +39,24 @@ val cofactor_vector : t -> Bdd.manager -> Isf.t -> int list -> Isf.t array
 
 type score_key
 
-val score_key : Bdd.manager -> lut_size:int -> Isf.t list -> int list -> score_key
-(** Key of a score query: the scoring mode ([lut_size]), the sorted
-    bound set, and the fingerprints of the participating ISFs.  The
-    manager is only needed to compute (memoized) fingerprints; the key
-    itself carries no per-manager state. *)
+val score_key :
+  Bdd.manager ->
+  lut_size:int ->
+  ?cost:Cost.t ->
+  Isf.t list ->
+  int list ->
+  score_key
+(** Key of a score query: the scoring mode ([lut_size] and the
+    objective's {!Cost.key_of} fragment — tag plus arrival profile,
+    so arrival-aware scores taken under different network states never
+    collide), the sorted bound set, and the fingerprints of the
+    participating ISFs.  The manager is only needed to compute
+    (memoized) fingerprints; the key itself carries no per-manager
+    state.  [cost] defaults to {!Cost.area}, whose fragment is
+    constant — area keys are unchanged across runs and managers. *)
 
-val find_score : t -> score_key -> (int * int) option
-val add_score : t -> score_key -> int * int -> unit
+val find_score : t -> score_key -> (int * int * int) option
+val add_score : t -> score_key -> int * int * int -> unit
 
 val retain : t -> Bdd.manager -> live:Isf.t list -> unit
 (** Drop every entry that mentions an ISF outside [live].  Called by

@@ -243,7 +243,15 @@ let parse s =
 let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
 
 let to_int = function
-  | Num x when Float.is_integer x -> Some (int_of_float x)
+  | Num x
+    when Float.is_integer x
+         (* Doubles represent integers exactly only up to 2^53;
+            [int_of_float] past that silently returns a neighbouring
+            integer (bench allocation counters are int64-scale, so the
+            range is reachable).  Out-of-range values are rejected, not
+            rounded. *)
+         && Float.abs x <= 9007199254740992.0 (* 2^53 *) ->
+      Some (int_of_float x)
   | _ -> None
 
 let to_float = function Num x -> Some x | _ -> None

@@ -45,7 +45,10 @@ val member : string -> t -> t option
 (** Field of an [Obj]; [None] on missing fields and non-objects. *)
 
 val to_int : t -> int option
-(** [Some] only for integral [Num]s. *)
+(** [Some] only for integral [Num]s whose magnitude is at most [2^53]
+    — the largest range where doubles represent every integer exactly.
+    Larger values would round silently through [int_of_float], so they
+    are rejected with [None]. *)
 
 val to_float : t -> float option
 val to_str : t -> string option

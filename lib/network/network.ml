@@ -7,6 +7,11 @@ type node =
 
 type t = {
   mutable nodes : node array;
+  (* LUT level of each node, maintained incrementally at construction
+     time (inputs and constants at 0, a LUT one above its deepest
+     fanin) so arrival-time-aware scoring can ask for depths while the
+     network is still being grown, without a per-query traversal. *)
+  mutable levels : int array;
   mutable used : int;
   mutable input_list : (string * signal) list;  (* reverse order *)
   mutable output_list : (string * signal) list;  (* reverse order *)
@@ -16,6 +21,7 @@ type t = {
 let create () =
   {
     nodes = Array.make 64 (Const false);
+    levels = Array.make 64 0;
     used = 0;
     input_list = [];
     output_list = [];
@@ -26,11 +32,23 @@ let push t node =
   if t.used = Array.length t.nodes then begin
     let bigger = Array.make (2 * t.used) (Const false) in
     Array.blit t.nodes 0 bigger 0 t.used;
-    t.nodes <- bigger
+    t.nodes <- bigger;
+    let lbigger = Array.make (2 * t.used) 0 in
+    Array.blit t.levels 0 lbigger 0 t.used;
+    t.levels <- lbigger
   end;
   t.nodes.(t.used) <- node;
+  t.levels.(t.used) <-
+    (match node with
+    | Input _ | Const _ -> 0
+    | Lut { fanins; _ } ->
+        1 + Array.fold_left (fun acc f -> max acc t.levels.(f)) 0 fanins);
   t.used <- t.used + 1;
   t.used - 1
+
+let level t s =
+  if s < 0 || s >= t.used then invalid_arg "Network.level: bad signal";
+  t.levels.(s)
 
 let add_input t name =
   if List.mem_assoc name t.input_list then
@@ -156,7 +174,17 @@ let view t s =
 module Unsafe = struct
   let signal (i : int) : signal = i
 
-  let set_lut t s ~fanins ~tt = t.nodes.(s) <- Lut { fanins = Array.copy fanins; tt }
+  let set_lut t s ~fanins ~tt =
+    t.nodes.(s) <- Lut { fanins = Array.copy fanins; tt };
+    (* Best-effort level refresh: out-of-range fanins (these mutations
+       exist to corrupt networks deliberately) contribute nothing, and
+       downstream levels go stale — [level] is only meaningful on
+       networks built through the checked constructors. *)
+    t.levels.(s) <-
+      1
+      + Array.fold_left
+          (fun acc f -> if f >= 0 && f < t.used then max acc t.levels.(f) else acc)
+          0 fanins
 
   let alias_input t name s = t.input_list <- (name, s) :: t.input_list
   let alias_output t name s = t.output_list <- (name, s) :: t.output_list

@@ -54,6 +54,16 @@ val signal_of_id : t -> int -> signal
 (** Inverse of {!signal_id}.
     @raise Invalid_argument when the id is out of range. *)
 
+val level : t -> signal -> int
+(** LUT level of a node: 0 for inputs and constants, one above the
+    deepest fanin for a LUT.  Maintained incrementally as nodes are
+    added, so it is valid {e during} construction — the arrival-time
+    input of delay-aware bound-set scoring.  On a finished network,
+    [stats.depth] is the maximum [level] over the outputs.  Only
+    meaningful on networks built through the checked constructors
+    ({!Unsafe} mutations leave downstream levels stale).
+    @raise Invalid_argument when the signal is out of range. *)
+
 val view : t -> signal -> [ `Input of string | `Const of bool | `Lut of signal array * Bv.t ]
 (** Raw node contents, for analyzers ({!Check} passes).  The fanin array
     is a copy; the signals in it are {e not} validated — a corrupted

@@ -19,6 +19,7 @@ let () =
       ("check", Test_check.suite);
       ("semantics", Test_semantics.suite);
       ("optimize", Test_optimize.suite);
+      ("objective", Test_objective.suite);
       ("serve", Test_serve.suite);
       ("bench-report", Test_bench_report.suite);
     ]

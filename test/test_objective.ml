@@ -1,0 +1,213 @@
+(* The --objective surface: area identity, the delay portfolio's
+   never-deeper guarantee, k-parametric CLB merging, the single source
+   of truth for the default LUT size — plus the satellites that ride
+   with it: wall-clock (not CPU-time) deadlines and the 2^53 integer
+   guard of Json.to_int. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let names n = List.init n (Printf.sprintf "x%d")
+
+(* Fast circuits covering single-step and multi-step decompositions;
+   the multi-step ones are where delay scoring can act at all. *)
+let suite_circuits = [ "rd73"; "z4ml"; "misex1"; "5xp1"; "9sym"; "t481"; "parity12" ]
+
+let load m name =
+  match Mcnc.find name with
+  | e -> e.Mcnc.build m
+  | exception Not_found -> (List.assoc name Extra.catalogue) m
+
+let unit_tests =
+  [
+    Alcotest.test_case "default lut size has a single source of truth" `Quick
+      (fun () ->
+        List.iter
+          (fun alg ->
+            check_int
+              (Mulop.algorithm_name alg)
+              Config.default.Config.lut_size
+              (Mulop.config_of alg).Config.lut_size)
+          [ Mulop.Mulop_ii; Mulop.Mulop_dc; Mulop.Mulop_dc_ii ]);
+    Alcotest.test_case "area cost is the classical pair" `Quick (fun () ->
+        (* The Area triple leads with a constant 0, so its order is
+           exactly the pre-objective pair order; and [make Area]
+           collapses to the shared [Cost.area] regardless of the
+           arrival oracle. *)
+        let c = Cost.make Cost.Area ~arrival:(fun v -> 100 + v) in
+        Alcotest.(check (triple int int int))
+          "triple" (0, 7, 9)
+          (Cost.triple c ~bound:[ 1; 2 ] (7, 9));
+        let d = Cost.make Cost.Delay ~arrival:(fun v -> v) in
+        Alcotest.(check (triple int int int))
+          "delay triple leads with step arrival" (4, 7, 9)
+          (Cost.triple d ~bound:[ 1; 3 ] (7, 9)));
+    Alcotest.test_case "delay never deeper than area (catalogue, k=5)"
+      `Quick (fun () ->
+        List.iter
+          (fun name ->
+            let depth_of objective =
+              let m = Bdd.manager () in
+              let spec = load m name in
+              let o = Mulop.run ~objective m Mulop.Mulop_dc spec in
+              check_bool
+                (Printf.sprintf "%s/%s verified" name
+                   (Cost.objective_name objective))
+                true
+                (Driver.verify m spec o.Mulop.network);
+              o.Mulop.depth
+            in
+            let a = depth_of Cost.Area and d = depth_of Cost.Delay in
+            check_bool
+              (Printf.sprintf "%s: delay depth %d <= area depth %d" name d a)
+              true (d <= a))
+          suite_circuits);
+    Alcotest.test_case "all objectives clean under --check=full, k=4/5/6"
+      `Quick (fun () ->
+        List.iter
+          (fun lut_size ->
+            List.iter
+              (fun objective ->
+                let m = Bdd.manager () in
+                let spec = load m "rd73" in
+                let o =
+                  Mulop.run ~lut_size ~objective ~checks:Diagnostic.Full m
+                    Mulop.Mulop_dc spec
+                in
+                let where =
+                  Printf.sprintf "rd73 k=%d %s" lut_size
+                    (Cost.objective_name objective)
+                in
+                check_bool (where ^ " verified") true
+                  (Driver.verify m spec o.Mulop.network);
+                check_bool (where ^ " no findings") true
+                  (Diagnostic.errors o.Mulop.findings = []);
+                check_bool (where ^ " fanin bound") true
+                  ((Network.stats o.Mulop.network).Network.max_fanin
+                  <= lut_size))
+              [ Cost.Area; Cost.Delay; Cost.Balanced ])
+          [ 4; 5; 6 ]);
+    Alcotest.test_case "clb merge rule is k-parametric" `Quick (fun () ->
+        (* Two 3-input LUTs sharing inputs: mergeable at k = 5 (the
+           XC3000 4/4/5 rule) and at k = 4 only when they use at most
+           4 distinct inputs together. *)
+        let net = Network.create () in
+        let a = Network.add_input net "a" in
+        let b = Network.add_input net "b" in
+        let c = Network.add_input net "c" in
+        let d = Network.add_input net "d" in
+        let e = Network.add_input net "e" in
+        (* 3-input parity: depends on every fanin, so the constructor's
+           support simplification cannot collapse the LUTs. *)
+        let tt3 =
+          Bv.of_fun 3 (fun i ->
+              (i land 1) lxor ((i lsr 1) land 1) lxor ((i lsr 2) land 1) = 1)
+        in
+        let u = Network.add_lut net ~fanins:[ a; b; c ] ~tt:tt3 in
+        let v = Network.add_lut net ~fanins:[ a; b; d ] ~tt:tt3 in
+        let w = Network.add_lut net ~fanins:[ c; d; e ] ~tt:tt3 in
+        Network.set_output net "u" u;
+        Network.set_output net "v" v;
+        Network.set_output net "w" w;
+        (* u+v: 4 distinct inputs; u+w: 5 distinct inputs *)
+        check_bool "u+v at default (5)" true (Clb.mergeable net u v);
+        check_bool "u+w at default (5)" true (Clb.mergeable net u w);
+        check_bool "u+v at k=4" true (Clb.mergeable ~lut_size:4 net u v);
+        check_bool "u+w at k=4" false (Clb.mergeable ~lut_size:4 net u w);
+        (* at k=3 a 3-input LUT already exceeds the k-1 fanin bound *)
+        check_bool "u+v at k=3" false (Clb.mergeable ~lut_size:3 net u v));
+    Alcotest.test_case "network levels are incremental and match stats"
+      `Quick (fun () ->
+        let m = Bdd.manager () in
+        let spec = load m "5xp1" in
+        let net = Driver.decompose m spec in
+        check_int "input level" 0
+          (Network.level net (List.assoc "x0" (Network.inputs net)));
+        let max_out =
+          List.fold_left
+            (fun acc (_, s) -> max acc (Network.level net s))
+            0 (Network.outputs net)
+        in
+        check_int "max output level = stats depth"
+          (Network.stats net).Network.depth max_out);
+    Alcotest.test_case "careflow deadline is wall time, not CPU time"
+      `Quick (fun () ->
+        (* [Unix.sleepf] advances the wall clock while consuming almost
+           no processor time, so a CPU-time deadline (the old
+           [Sys.time] bug) would NOT fire here and the limiter would
+           sail through.  This is the code path behind --sem-timeout. *)
+        let m = Bdd.manager () in
+        let poll = Careflow.limiter ~timeout:0.05 m () in
+        poll ();
+        Unix.sleepf 0.2;
+        check_bool "deadline fired after sleeping past it" true
+          (match poll () with
+          | () -> false
+          | exception Careflow.Cutoff "deadline" -> true
+          | exception Careflow.Cutoff _ -> false));
+    Alcotest.test_case "json to_int rejects floats beyond 2^53" `Quick
+      (fun () ->
+        let exact = 9007199254740992.0 (* 2^53 *) in
+        Alcotest.(check (option int))
+          "2^53 itself is exact"
+          (Some (int_of_float exact))
+          (Json.to_int (Json.Num exact));
+        Alcotest.(check (option int))
+          "beyond 2^53 is rejected" None
+          (Json.to_int (Json.Num (exact +. 2.0)));
+        Alcotest.(check (option int))
+          "negative beyond 2^53 is rejected" None
+          (Json.to_int (Json.Num (-.exact -. 2.0)));
+        Alcotest.(check (option int))
+          "fractional is rejected" None
+          (Json.to_int (Json.Num 1.5));
+        (* round trip through the printer/parser at a safe magnitude *)
+        let n = 1 lsl 52 in
+        match Json.parse (Json.to_string (Json.int n)) with
+        | Ok j -> Alcotest.(check (option int)) "round trip" (Some n) (Json.to_int j)
+        | Error msg -> Alcotest.fail msg);
+  ]
+
+let props =
+  let gen_fun n =
+    let open QCheck2.Gen in
+    let+ bits = list_size (return (1 lsl n)) bool in
+    let arr = Array.of_list bits in
+    Bv.of_fun n (fun i -> arr.(i))
+  in
+  [
+    (* The default objective IS Area, and an explicit Area changes
+       nothing: same network, same counts — the byte-identity
+       guarantee for existing users. *)
+    QCheck2.Test.make ~name:"explicit area objective is the default path"
+      ~count:20
+      (QCheck2.Gen.pair (gen_fun 5) (gen_fun 5))
+      (fun (b1, b2) ->
+        let run objective =
+          let m = Bdd.manager () in
+          let spec =
+            Driver.spec_of_csf m (names 5)
+              [ ("f", Bv.to_bdd m b1); ("g", Bv.to_bdd m b2) ]
+          in
+          Mulop.run ?objective m Mulop.Mulop_dc spec
+        in
+        let d = run None and a = run (Some Cost.Area) in
+        d.Mulop.lut_count = a.Mulop.lut_count
+        && d.Mulop.clb_count = a.Mulop.clb_count
+        && d.Mulop.depth = a.Mulop.depth
+        && d.Mulop.step_count = a.Mulop.step_count
+        && Network.equivalent d.Mulop.network a.Mulop.network);
+    QCheck2.Test.make ~name:"delay portfolio never deeper and always verified"
+      ~count:20 (gen_fun 6)
+      (fun bv ->
+        let m = Bdd.manager () in
+        let f = Bv.to_bdd m bv in
+        let spec = Driver.spec_of_csf m (names 6) [ ("f", f) ] in
+        let a = Mulop.run ~lut_size:4 ~objective:Cost.Area m Mulop.Mulop_dc spec in
+        let d = Mulop.run ~lut_size:4 ~objective:Cost.Delay m Mulop.Mulop_dc spec in
+        Driver.verify m spec d.Mulop.network
+        && d.Mulop.depth <= a.Mulop.depth);
+  ]
+
+let suite =
+  unit_tests @ List.map (fun p -> QCheck_alcotest.to_alcotest ~long:false p) props
