@@ -579,15 +579,44 @@ let lint_cmd =
              truncated ($(b,SEM008)) instead of completed through \
              windows.  Mainly useful to compare the two engines.")
   in
+  let no_dataflow =
+    Arg.(
+      value & flag
+      & info [ "no-dataflow" ]
+          ~doc:
+            "Disable the dataflow screening tier under $(b,--deep).  The \
+             cheap abstract-interpretation analyses still run (their \
+             $(b,SUP*) findings are part of the report either way), but \
+             their facts no longer let the exact and SAT engines skip \
+             work.  Findings are identical with and without this flag — \
+             only the cost differs — so it exists to measure what the \
+             screening saves.")
+  in
+  let sem_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sem-steps" ] ~docv:"N"
+          ~doc:
+            "Replace the BDD-node/wall-clock budget of the exact engine \
+             under $(b,--deep) with a deterministic budget of $(docv) \
+             polls.  Two runs with the same $(docv) truncate at the same \
+             node regardless of machine speed or screening mode, which \
+             makes reports reproducible and comparable.")
+  in
   let lint target lut_size json codes no_style deep sem_nodes sem_timeout
-      no_sat =
+      no_sat no_dataflow sem_steps =
     setup_logs false;
     if codes then begin
       List.iter
-        (fun (code, sev, doc) ->
-          Format.printf "%-8s %-8s %s@." code (Diagnostic.severity_name sev)
-            doc)
-        Diagnostic.catalogue;
+        (fun (fam, entries) ->
+          Format.printf "%s@." fam;
+          List.iter
+            (fun (code, sev, doc) ->
+              Format.printf "  %-8s %-8s %s@." code
+                (Diagnostic.severity_name sev) doc)
+            entries)
+        Diagnostic.families;
       exit 0
     end;
     let target =
@@ -614,11 +643,14 @@ let lint_cmd =
             fun name -> Hashtbl.find tbl name
           in
           let check =
-            Careflow.limiter ~max_nodes:sem_nodes ~timeout:sem_timeout m ()
+            match sem_steps with
+            | Some n -> Careflow.step_limiter ~max_steps:n ()
+            | None ->
+                Careflow.limiter ~max_nodes:sem_nodes ~timeout:sem_timeout m ()
           in
           let report =
-            Semantics.analyze_report ~sat_fallback:(not no_sat) ~check m
-              ~var_of_input net
+            Semantics.analyze_report ~sat_fallback:(not no_sat)
+              ~dataflow:(not no_dataflow) ~check m ~var_of_input net
           in
           (structural @ report.Semantics.findings, Some report.Semantics.coverage)
         end
@@ -655,11 +687,18 @@ let lint_cmd =
                     "{\"exact_nodes\":%d,\"windowed_nodes\":%d,\
                      \"truncated_nodes\":%d,\"total_nodes\":%d,\
                      \"sat_calls\":%d,\"sat_conflicts\":%d,\
-                     \"windows_built\":%d}"
+                     \"windows_built\":%d,\
+                     \"dataflow\":{\"nodes\":%d,\"iterations\":%d,\
+                     \"facts\":%d,\"screened_out\":%d},\
+                     \"wall\":{\"dataflow\":%.6f,\"exact\":%.6f,\
+                     \"sat\":%.6f}}"
                     c.Semantics.exact_nodes c.Semantics.windowed_nodes
                     c.Semantics.truncated_nodes c.Semantics.total_nodes
                     c.Semantics.sat_calls c.Semantics.sat_conflicts
-                    c.Semantics.windows_built );
+                    c.Semantics.windows_built c.Semantics.dataflow_nodes
+                    c.Semantics.df_iterations c.Semantics.df_facts
+                    c.Semantics.screened_out c.Semantics.wall_dataflow
+                    c.Semantics.wall_exact c.Semantics.wall_sat );
               ]
         in
         if json then print_string (Diagnostic.to_json ~extra findings)
@@ -671,7 +710,12 @@ let lint_cmd =
                 "analyzer coverage: %d/%d node(s) exact, %d via windows, %d \
                  truncated@."
                 c.Semantics.exact_nodes c.Semantics.total_nodes
-                c.Semantics.windowed_nodes c.Semantics.truncated_nodes
+                c.Semantics.windowed_nodes c.Semantics.truncated_nodes;
+              Format.printf
+                "dataflow tier: %d fact(s) over %d node(s) in %d \
+                 iteration(s), %d work unit(s) screened@."
+                c.Semantics.df_facts c.Semantics.dataflow_nodes
+                c.Semantics.df_iterations c.Semantics.screened_out
           | None -> ()
         end;
         exit (Diagnostic.exit_code findings)
@@ -690,7 +734,7 @@ let lint_cmd =
          ])
     Term.(
       const lint $ target $ lut_size $ json $ codes $ no_style $ deep
-      $ sem_nodes $ sem_timeout $ no_sat)
+      $ sem_nodes $ sem_timeout $ no_sat $ no_dataflow $ sem_steps)
 
 let audit_cmd =
   let golden =
@@ -979,7 +1023,19 @@ let optimize_cmd =
       & info [ "stats" ]
           ~doc:"Print analysis statistics (SAT calls, windows) after the run.")
   in
-  let optimize target pla out_blif passes engine json stats =
+  let no_dataflow =
+    Arg.(
+      value & flag
+      & info [ "no-dataflow" ]
+          ~doc:
+            "Disable the dataflow screening tier: the exact and SAT \
+             analyses do all their own work instead of skipping what the \
+             cheap abstract-interpretation facts already decided.  Every \
+             screen is fact-justified and each candidate is audited \
+             either way, so this only trades speed for nothing — it \
+             exists to measure the screening.")
+  in
+  let optimize target pla out_blif passes engine json stats no_dataflow =
     setup_logs false;
     let m = Bdd.manager () in
     let run () =
@@ -1029,7 +1085,7 @@ let optimize_cmd =
       let run_stats = Stats.create () in
       let o =
         Optimize.run ?care_of_output ~max_passes:passes ~audit_engine:engine
-          ~stats:run_stats m net
+          ~dataflow:(not no_dataflow) ~stats:run_stats m net
       in
       (match out_blif with
       | Some path ->
@@ -1142,7 +1198,8 @@ let optimize_cmd =
                input network.";
          ])
     Term.(
-      const optimize $ target $ pla $ out_blif $ passes $ engine $ json $ stats)
+      const optimize $ target $ pla $ out_blif $ passes $ engine $ json $ stats
+      $ no_dataflow)
 
 (* ---- the daemon and its client ---- *)
 

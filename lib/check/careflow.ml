@@ -15,9 +15,11 @@ type t = {
   analyzed : int;
   total : int;
   truncated : string option;
+  screened : int;
 }
 
-let analyze ?care_of_output ?(check = fun () -> ()) m ~var_of_input net =
+let analyze ?care_of_output ?(check = fun () -> ())
+    ?(full_observable = fun _ -> false) m ~var_of_input net =
   let n = Network.node_count net in
   let care_of name =
     match care_of_output with Some f -> f name | None -> Bdd.one m
@@ -86,6 +88,7 @@ let analyze ?care_of_output ?(check = fun () -> ()) m ~var_of_input net =
       analyzed = 0;
       total;
       truncated = !truncated;
+      screened = 0;
     }
   else begin
     let outputs =
@@ -157,7 +160,7 @@ let analyze ?care_of_output ?(check = fun () -> ()) m ~var_of_input net =
                    (Bdd.xor m g' globals.(Network.signal_id so))))
         (Bdd.zero m) (Network.outputs net)
     in
-    let nodes = ref [] and analyzed = ref 0 in
+    let nodes = ref [] and analyzed = ref 0 and screened = ref 0 in
     (try
        List.iter
          (fun s ->
@@ -165,12 +168,24 @@ let analyze ?care_of_output ?(check = fun () -> ()) m ~var_of_input net =
            | `Input _ | `Const _ -> ()
            | `Lut (fanins, _) ->
                check ();
+               (* The hint must be exact, not approximate: a caller
+                  asserting [full_observable s] promises the node's
+                  observability set IS the whole care space (e.g. the
+                  node pointwise drives a full-care output), so using
+                  [care_any] directly changes cost, never results. *)
+               let observable =
+                 if full_observable s then begin
+                   incr screened;
+                   care_any
+                 end
+                 else observable_of s
+               in
                let info =
                  {
                    signal = s;
                    global = globals.(Network.signal_id s);
                    code_sets = code_sets fanins;
-                   observable = observable_of s;
+                   observable;
                  }
                in
                nodes := info :: !nodes;
@@ -185,6 +200,7 @@ let analyze ?care_of_output ?(check = fun () -> ()) m ~var_of_input net =
       analyzed = !analyzed;
       total;
       truncated = !truncated;
+      screened = !screened;
     }
   end
 
@@ -209,3 +225,13 @@ let limiter ?max_nodes ?timeout m () =
     match deadline with
     | Some d when Mono.now () > d -> raise (Cutoff "deadline")
     | Some _ | None -> ()
+
+(* Unlike [limiter], truncation by poll count is independent of BDD
+   allocation and wall time, so two runs that differ only in how much
+   work each polled step does (e.g. screening on vs. off) truncate at
+   the same node — the property the lint-equivalence checks rely on. *)
+let step_limiter ~max_steps () =
+  let steps = ref 0 in
+  fun () ->
+    incr steps;
+    if !steps > max_steps then raise (Cutoff "step budget")

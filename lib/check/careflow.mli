@@ -56,11 +56,15 @@ type t = {
   analyzed : int;  (** LUT nodes with full SDC/ODC information *)
   total : int;  (** reachable LUT nodes *)
   truncated : string option;  (** [Some reason] when cut off early *)
+  screened : int;
+      (** nodes whose ODC re-simulation was skipped on the strength of
+          a [full_observable] hint *)
 }
 
 val analyze :
   ?care_of_output:(string -> Bdd.t) ->
   ?check:(unit -> unit) ->
+  ?full_observable:(Network.signal -> bool) ->
   Bdd.manager ->
   var_of_input:(string -> int) ->
   Network.t ->
@@ -70,7 +74,15 @@ val analyze :
     default cares about everything.  [check] is polled at node
     granularity and may raise {!Cutoff}.  A truncation during the
     forward pass yields an empty result (no globals are trustworthy);
-    during the per-node pass, the analyzed prefix is kept. *)
+    during the per-node pass, the analyzed prefix is kept.
+
+    [full_observable s] (default: always [false]) asserts that [s]'s
+    observability set is {e exactly} the whole care space, letting the
+    analysis skip the fanout-cone re-simulation and use [care_any]
+    directly.  The caller must have a proof (the {!Dataflow}
+    observability domain provides one: a node that pointwise drives an
+    output whose care set equals [care_any]); a wrong hint silently
+    corrupts ODC results.  The number of skips is {!t.screened}. *)
 
 val global_of : t -> Network.signal -> Bdd.t option
 (** The global function of an analyzed LUT node. *)
@@ -81,3 +93,10 @@ val limiter :
     raises {!Cutoff} once the manager has allocated [max_nodes] fresh
     BDD nodes beyond its size at limiter creation, or after [timeout]
     seconds of processor time.  Omitted limits are unlimited. *)
+
+val step_limiter : max_steps:int -> unit -> unit -> unit
+(** A [check] callback that raises {!Cutoff} after [max_steps] polls.
+    Unlike {!limiter} it is fully deterministic — the truncation point
+    depends only on the network, never on BDD allocation, wall time or
+    screening — which is what the with/without-dataflow equivalence
+    checks (bench, CI, tests) run the exact engine under. *)

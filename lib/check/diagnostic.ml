@@ -42,12 +42,34 @@ let catalogue =
     ("SEM006", Info, "unexploited don't care: free table bits fixed inconsistently with a mergeable twin");
     ("SEM007", Error, "networks differ inside the care set (care-set-aware inequivalence)");
     ("SEM008", Info, "semantic analysis truncated by the resource budget; findings are partial");
+    ("SUP001", Warning, "LUT truth table provably ignores a fanin (redundant fanin)");
+    ("SUP002", Info, "fanin support contained in the other fanins' (reconvergent; pruning candidate)");
   ]
 
 (* Bump whenever the catalogue gains, loses or reclassifies a code, so
    machine consumers of the JSON report can detect a vocabulary skew.
-   1 = the NET/DEC/PLA families, 2 = + the SEM semantic family. *)
-let catalogue_version = "2"
+   1 = the NET/DEC/PLA families, 2 = + the SEM semantic family,
+   3 = + the SUP support/redundancy family (dataflow screening tier). *)
+let catalogue_version = "3"
+
+let family code =
+  let n = String.length code in
+  let i = ref 0 in
+  while !i < n && not (code.[!i] >= '0' && code.[!i] <= '9') do incr i done;
+  String.sub code 0 !i
+
+(* Families in first-appearance catalogue order, codes in catalogue
+   order within each — the [--codes] rendering backbone. *)
+let families =
+  List.rev
+    (List.fold_left
+       (fun acc ((code, _, _) as entry) ->
+         let fam = family code in
+         match acc with
+         | (f, entries) :: rest when f = fam ->
+             (f, entries @ [ entry ]) :: rest
+         | _ -> (fam, [ entry ]) :: acc)
+       [] catalogue)
 
 let severity_of_code code =
   List.find_map

@@ -31,7 +31,16 @@ val catalogue : (string * severity * string) list
     code order.  [NET*] codes are network-structure passes, [DEC*]
     codes are decomposition invariants, [PLA*] codes are two-level
     input hygiene, [SEM*] codes are the semantic (SDC/ODC dataflow)
-    passes of {!Semantics}. *)
+    passes of {!Semantics}, [SUP*] codes are the support/redundancy
+    facts of the {!Dataflow} screening tier. *)
+
+val family : string -> string
+(** The alphabetic family prefix of a code (["SEM003"] -> ["SEM"]). *)
+
+val families : (string * (string * severity * string) list) list
+(** {!catalogue} grouped by {!family}, families in first-appearance
+    catalogue order and codes in catalogue order within each — the
+    order [mfd lint --codes] renders. *)
 
 val catalogue_version : string
 (** Version tag of the catalogue, embedded in the JSON report so

@@ -295,6 +295,41 @@ let of_windowed net results =
     results;
   List.rev !findings
 
+(* The SUP passes: provably-redundant and candidate-redundant fanins,
+   straight off the cheap dataflow facts.  Both are mode-independent —
+   a SUP001 is justified by the local truth table alone and a SUP002
+   by the structural support over-approximation — so the report is
+   identical whether or not the facts are also used for screening. *)
+let of_dataflow net df =
+  let name_of = namer net in
+  let findings = ref [] in
+  let add ?loc code msg = findings := Diagnostic.make ?loc code msg :: !findings in
+  List.iter
+    (fun nf ->
+      match Network.view net nf.Dataflow.nf_signal with
+      | `Input _ | `Const _ -> ()
+      | `Lut (fanins, _) ->
+          let loc = name_of nf.Dataflow.nf_signal in
+          List.iter
+            (fun j ->
+              add ~loc "SUP001"
+                (Printf.sprintf
+                   "truth table ignores fanin %s (position %d); dropping it \
+                    cannot change the node"
+                   (name_of fanins.(j)) j))
+            nf.Dataflow.nf_vacuous;
+          List.iter
+            (fun j ->
+              add ~loc "SUP002"
+                (Printf.sprintf
+                   "fanin %s (position %d) has its input support contained \
+                    in the other fanins'; reconvergent — a candidate for \
+                    exact redundancy pruning"
+                   (name_of fanins.(j)) j))
+            nf.Dataflow.nf_contained)
+    (Dataflow.facts df);
+  List.rev !findings
+
 type coverage = {
   exact_nodes : int;
   windowed_nodes : int;
@@ -303,45 +338,121 @@ type coverage = {
   sat_calls : int;
   sat_conflicts : int;
   windows_built : int;
+  dataflow_nodes : int;
+  df_iterations : int;
+  df_facts : int;
+  screened_out : int;
+  wall_dataflow : float;
+  wall_exact : float;
+  wall_sat : float;
 }
 
 type report = { findings : Diagnostic.t list; coverage : coverage }
 
+(* Can the windowed SAT engine be skipped for this node without losing
+   a finding?  Only when the cheap facts prove the window would report
+   nothing: every fanin code was witnessed reachable (so window
+   reachability, which over-approximates, is total — no SEM001, and
+   the table takes both values on reachable rows — no SEM003) and the
+   node pointwise drives some output (the flip crosses every root cut,
+   so the windowed care set is non-empty — no SEM002). *)
+(* An exactly-known observability set: a node that pointwise drives an
+   output whose care set is the whole care space has observable =
+   care_any, so the exact engine may skip the ODC computation without
+   changing any fact derived from it. *)
+let full_observable_hint ?care_of_output m net df =
+  let care_of name =
+    match care_of_output with Some f -> f name | None -> Bdd.one m
+  in
+  let cares =
+    List.map (fun (name, _) -> (name, care_of name)) (Network.outputs net)
+  in
+  let care_any = Bdd.or_list m (List.map snd cares) in
+  fun s ->
+    match Dataflow.fact_of df s with
+    | None -> false
+    | Some nf ->
+        List.exists
+          (fun o ->
+            match List.assoc_opt o cares with
+            | Some c -> Bdd.equal c care_any
+            | None -> false)
+          nf.Dataflow.nf_obs_outputs
+
+let window_screenable net df s =
+  match (Dataflow.fact_of df s, Network.view net s) with
+  | Some nf, `Lut (fanins, tt) ->
+      let k = Array.length fanins in
+      k <= Complete_dc.max_code_bits
+      && nf.Dataflow.nf_all_codes
+      && nf.Dataflow.nf_obs_outputs <> []
+      &&
+      let zero = ref false and one = ref false in
+      for c = 0 to (1 lsl k) - 1 do
+        if Bv.get tt c then one := true else zero := true
+      done;
+      !zero && !one
+  | _ -> false
+
 let analyze_report ?care_of_output ?check ?(sat_fallback = true)
     ?(tfi_depth = 4) ?(tfo_depth = 4) ?(sat_max_conflicts = 2000)
-    ?(sat_timeout = 20.0) m ~var_of_input net =
-  let flow = Careflow.analyze ?care_of_output ?check m ~var_of_input net in
+    ?(sat_timeout = 20.0) ?(dataflow = true) m ~var_of_input net =
+  (* The cheap tier always runs (it is linear and its SUP findings are
+     part of the report either way); [dataflow] only decides whether
+     its facts are allowed to screen the expensive engines. *)
+  let t0 = Mono.now () in
+  let df = Dataflow.analyze net in
+  let sup = of_dataflow net df in
+  let wall_dataflow = Mono.now () -. t0 in
+  let full_observable =
+    if not dataflow then None
+    else Some (full_observable_hint ?care_of_output m net df)
+  in
+  let t1 = Mono.now () in
+  let flow =
+    Careflow.analyze ?care_of_output ?check ?full_observable m ~var_of_input
+      net
+  in
   let base = of_flow m net flow in
+  let wall_exact = Mono.now () -. t1 in
   let exact_nodes = flow.Careflow.analyzed in
   let total_nodes = flow.Careflow.total in
+  let coverage ~windowed_nodes ~truncated_nodes ~counters ~screened_windows
+      ~wall_sat =
+    {
+      exact_nodes;
+      windowed_nodes;
+      truncated_nodes;
+      total_nodes;
+      sat_calls = counters.Complete_dc.sat_calls;
+      sat_conflicts = counters.Complete_dc.sat_conflicts;
+      windows_built = counters.Complete_dc.windows_built;
+      dataflow_nodes = List.length (Dataflow.facts df);
+      df_iterations = Dataflow.iterations df;
+      df_facts = Dataflow.fact_count df;
+      screened_out = flow.Careflow.screened + screened_windows;
+      wall_dataflow;
+      wall_exact;
+      wall_sat;
+    }
+  in
   match flow.Careflow.truncated with
   | None ->
       {
-        findings = base;
+        findings = sup @ base;
         coverage =
-          {
-            exact_nodes;
-            windowed_nodes = 0;
-            truncated_nodes = 0;
-            total_nodes;
-            sat_calls = 0;
-            sat_conflicts = 0;
-            windows_built = 0;
-          };
+          coverage ~windowed_nodes:0 ~truncated_nodes:0
+            ~counters:(Complete_dc.counters ()) ~screened_windows:0
+            ~wall_sat:0.0;
       }
   | Some _ when not sat_fallback ->
       {
-        findings = base;
+        findings = sup @ base;
         coverage =
-          {
-            exact_nodes;
-            windowed_nodes = 0;
-            truncated_nodes = total_nodes - exact_nodes;
-            total_nodes;
-            sat_calls = 0;
-            sat_conflicts = 0;
-            windows_built = 0;
-          };
+          coverage ~windowed_nodes:0
+            ~truncated_nodes:(total_nodes - exact_nodes)
+            ~counters:(Complete_dc.counters ()) ~screened_windows:0
+            ~wall_sat:0.0;
       }
   | Some reason ->
       (* the windowed fallback replaces the blanket SEM008 with per-node
@@ -360,7 +471,25 @@ let analyze_report ?care_of_output ?check ?(sat_fallback = true)
              (fun s -> not (Hashtbl.mem analyzed (Network.signal_id s)))
              (Network.lut_signals net))
       in
+      let t2 = Mono.now () in
       let ctx = Window.context net in
+      (* SAT effort lands where the cheap tier could not decide: order
+         the centers by how many reachability/observability questions
+         the dataflow facts leave open. *)
+      let remaining =
+        if not dataflow then remaining
+        else
+          Window.order_by_density ctx
+            ~density:(fun s ->
+              match Dataflow.fact_of df s with
+              | None -> max_int
+              | Some nf ->
+                  let k = List.length (Network.fanins net s) in
+                  let rows = 1 lsl min k 16 in
+                  rows - nf.Dataflow.nf_codes_seen
+                  + (if nf.Dataflow.nf_obs_outputs = [] then rows else 0))
+            remaining
+      in
       let counters = Complete_dc.counters () in
       (* wall time (monotonic), not processor time — see
          [Careflow.limiter] *)
@@ -372,20 +501,26 @@ let analyze_report ?care_of_output ?check ?(sat_fallback = true)
       let results = ref [] in
       let too_wide = ref 0 in
       let processed = ref 0 in
+      let screened_windows = ref 0 in
       (try
          Array.iter
            (fun s ->
-             (match
-                Complete_dc.analyze_node ~tfi_depth ~tfo_depth
-                  ~max_conflicts:sat_max_conflicts ~check:sat_check
-                  ~counters ctx s
-              with
-             | Some r -> results := r :: !results
-             | None -> incr too_wide);
+             (if dataflow && window_screenable net df s then
+                (* proven finding-free: covered without a SAT call *)
+                incr screened_windows
+              else
+                match
+                  Complete_dc.analyze_node ~tfi_depth ~tfo_depth
+                    ~max_conflicts:sat_max_conflicts ~check:sat_check
+                    ~counters ctx s
+                with
+                | Some r -> results := r :: !results
+                | None -> incr too_wide);
              incr processed)
            remaining
        with Careflow.Cutoff _ -> ());
-      let windowed_nodes = List.length !results in
+      let wall_sat = Mono.now () -. t2 in
+      let windowed_nodes = List.length !results + !screened_windows in
       let truncated_nodes =
         Array.length remaining - !processed + !too_wide
       in
@@ -403,17 +538,10 @@ let analyze_report ?care_of_output ?check ?(sat_fallback = true)
         else []
       in
       {
-        findings = keep @ windowed_findings @ trunc_finding;
+        findings = sup @ keep @ windowed_findings @ trunc_finding;
         coverage =
-          {
-            exact_nodes;
-            windowed_nodes;
-            truncated_nodes;
-            total_nodes;
-            sat_calls = counters.Complete_dc.sat_calls;
-            sat_conflicts = counters.Complete_dc.sat_conflicts;
-            windows_built = counters.Complete_dc.windows_built;
-          };
+          coverage ~windowed_nodes ~truncated_nodes ~counters
+            ~screened_windows:!screened_windows ~wall_sat;
       }
 
 let analyze ?care_of_output ?check m ~var_of_input net =

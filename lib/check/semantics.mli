@@ -28,25 +28,48 @@
     [SEM007] (inequivalence inside the care set) is produced by
     {!audit} and {!audit_sat}.
 
-    Two analysis engines back the passes.  The exact engine
-    ({!Careflow}) computes global BDDs and full SDC/ODC sets but blows
-    up on big cones; when its budget trips, {!analyze_report} falls
-    back to the SAT engine — windowed complete don't cares
-    ({!Complete_dc}) for every node the exact engine did not reach —
-    and only the nodes {e neither} engine covered are reported as
-    [SEM008] truncation.
+    Three tiers back the passes.  The cheap tier ({!Dataflow}) always
+    runs first: linear-time abstract interpretation plus deterministic
+    bit-parallel simulation.  It contributes the [SUP*] findings
+    directly and — unless screening is disabled — its sound facts let
+    the expensive tiers skip work whose answer is already known.  The
+    exact engine ({!Careflow}) computes global BDDs and full SDC/ODC
+    sets but blows up on big cones; when its budget trips,
+    {!analyze_report} falls back to the SAT engine — windowed complete
+    don't cares ({!Complete_dc}) for every node the exact engine did
+    not reach — and only the nodes {e no} engine covered are reported
+    as [SEM008] truncation.
+
+    Screening is a pure observer: because every screen is justified by
+    a sound fact (an exactly-known observability set, or a proof the
+    window could emit nothing), the findings with screening enabled
+    are identical to the findings without it — only the cost differs.
 
     Precondition as for {!Careflow.analyze}: structurally sound
     networks only. *)
 
 type coverage = {
   exact_nodes : int;  (** LUT nodes with full BDD SDC/ODC information *)
-  windowed_nodes : int;  (** covered by the windowed SAT fallback *)
-  truncated_nodes : int;  (** covered by neither engine *)
+  windowed_nodes : int;
+      (** covered by the windowed SAT fallback (including nodes the
+          dataflow facts proved finding-free without a SAT call) *)
+  truncated_nodes : int;  (** covered by no engine *)
   total_nodes : int;  (** reachable LUT nodes *)
   sat_calls : int;
   sat_conflicts : int;
   windows_built : int;
+  dataflow_nodes : int;  (** LUT nodes the cheap tier derived facts for *)
+  df_iterations : int;  (** fixpoint-solver node visits, all domains *)
+  df_facts : int;  (** facts derived (constants, redundant/contained
+                       fanins, observability sets, full code coverage) *)
+  screened_out : int;
+      (** expensive-engine work units skipped on the strength of a
+          dataflow fact: exact ODC computations replaced by the
+          known-full observability, plus SAT windows proved
+          finding-free.  Always [0] when screening is disabled. *)
+  wall_dataflow : float;  (** seconds in the cheap tier (monotonic) *)
+  wall_exact : float;  (** seconds in the exact BDD engine *)
+  wall_sat : float;  (** seconds in the windowed SAT fallback *)
 }
 
 type report = { findings : Diagnostic.t list; coverage : coverage }
@@ -59,20 +82,29 @@ val analyze_report :
   ?tfo_depth:int ->
   ?sat_max_conflicts:int ->
   ?sat_timeout:float ->
+  ?dataflow:bool ->
   Bdd.manager ->
   var_of_input:(string -> int) ->
   Network.t ->
   report
-(** Run the exact dataflow, then — when it was truncated and
-    [sat_fallback] (default [true]) — the windowed SAT analysis over
-    the remainder.  The fallback sees the network but not
-    [care_of_output] (its don't cares are global, hence valid on any
-    care set); it emits [SEM001]/[SEM002]/[SEM003] findings where the
-    window proves them.  [check] budgets only the exact phase (it has
-    typically already tripped when the fallback starts); the fallback
-    is budgeted by [sat_max_conflicts] per solver call (default 2000),
-    [sat_timeout] processor seconds overall (default 20), and window
-    depths [tfi_depth]/[tfo_depth] (default 4/4). *)
+(** Run the cheap dataflow tier, the exact engine, then — when the
+    exact engine was truncated and [sat_fallback] (default [true]) —
+    the windowed SAT analysis over the remainder.  The fallback sees
+    the network but not [care_of_output] (its don't cares are global,
+    hence valid on any care set); it emits [SEM001]/[SEM002]/[SEM003]
+    findings where the window proves them.  [check] budgets only the
+    exact phase (it has typically already tripped when the fallback
+    starts); the fallback is budgeted by [sat_max_conflicts] per
+    solver call (default 2000), [sat_timeout] wall-clock seconds
+    overall (default 20), and window depths [tfi_depth]/[tfo_depth]
+    (default 4/4).
+
+    [dataflow] (default [true]) gates only the {e screening} — with it
+    off the cheap tier still runs and still emits its [SUP*] findings
+    (so reports are comparable across modes), but the exact and SAT
+    engines do all their own work and [screened_out] stays [0].  The
+    SAT fallback additionally orders its centers by unscreened-fact
+    density ({!Window.order_by_density}) when screening is on. *)
 
 val analyze :
   ?care_of_output:(string -> Bdd.t) ->
@@ -89,6 +121,35 @@ val of_flow : Bdd.manager -> Network.t -> Careflow.t -> Diagnostic.t list
 (** The pass half of {!analyze}, for callers that run
     {!Careflow.analyze} themselves (the decomposition driver does, so
     it can record the analyzed-node count in its statistics). *)
+
+val full_observable_hint :
+  ?care_of_output:(string -> Bdd.t) ->
+  Bdd.manager ->
+  Network.t ->
+  Dataflow.t ->
+  Network.signal ->
+  bool
+(** The screening predicate fed to {!Careflow.analyze}'s
+    [full_observable]: [true] only for nodes whose observability set is
+    {e exactly} the whole care space (the node pointwise drives an
+    output whose care set equals the union of all care sets), so the
+    exact engine may skip the ODC computation without changing any
+    result.  Exposed so the optimizer can reuse it. *)
+
+val window_screenable : Network.t -> Dataflow.t -> Network.signal -> bool
+(** [true] when the dataflow facts prove the windowed SAT analysis of
+    this node would report nothing: every fanin code has a concrete
+    witness (reachability total), the node pointwise drives an output
+    (windowed care non-empty) and the table is non-constant.  Skipping
+    such a node loses no finding and no don't care. *)
+
+val of_dataflow : Network.t -> Dataflow.t -> Diagnostic.t list
+(** The cheap-tier pass: [SUP001] (a fanin the local truth table
+    provably ignores) and [SUP002] (a fanin whose structural input
+    support is contained in the union of the other fanins' — a
+    reconvergence, hence a candidate for exact redundancy pruning).
+    Mode-independent: depends only on the {!Dataflow} facts, never on
+    what the expensive engines did. *)
 
 val of_windowed :
   Network.t -> Complete_dc.node_result list -> Diagnostic.t list

@@ -26,6 +26,18 @@ let context net =
 
 let network ctx = ctx.net
 
+(* Highest density first; topological rank breaks ties, so the order
+   is deterministic and degrades to plain topological order when the
+   density function is constant. *)
+let order_by_density ctx ~density signals =
+  let keyed =
+    Array.map
+      (fun s -> ((-density s, ctx.rank.(Network.signal_id s)), s))
+      signals
+  in
+  Array.sort (fun (ka, _) (kb, _) -> compare ka kb) keyed;
+  Array.map snd keyed
+
 type t = {
   w_center : Network.signal;
   w_internals : Network.signal array;

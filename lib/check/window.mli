@@ -35,6 +35,17 @@ val context : Network.t -> ctx
 val network : ctx -> Network.t
 (** The network the context was built from. *)
 
+val order_by_density :
+  ctx ->
+  density:(Network.signal -> int) ->
+  Network.signal array ->
+  Network.signal array
+(** A copy of the signals sorted by decreasing [density], ties broken
+    by topological rank.  The windowed SAT fallback orders its centers
+    by unscreened-fact density this way, so when its wall budget runs
+    out, the solver time was spent where the cheap {!Dataflow} tier
+    could not already decide the answer. *)
+
 type t
 
 val build : ctx -> center:Network.signal -> tfi_depth:int -> tfo_depth:int -> t

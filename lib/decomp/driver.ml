@@ -672,6 +672,11 @@ let decompose_report ?(cfg = Config.default) ?(budget = Budget.unlimited)
       stats.Stats.sat_conflicts + cov.Semantics.sat_conflicts;
     stats.Stats.windows_built <-
       stats.Stats.windows_built + cov.Semantics.windows_built;
+    stats.Stats.df_iterations <-
+      stats.Stats.df_iterations + cov.Semantics.df_iterations;
+    stats.Stats.df_facts <- stats.Stats.df_facts + cov.Semantics.df_facts;
+    stats.Stats.screened_out <-
+      stats.Stats.screened_out + cov.Semantics.screened_out;
     List.iter emit_finding report.Semantics.findings;
     ignore (Stats.mark clock "semantics")
   end;

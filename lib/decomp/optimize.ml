@@ -134,19 +134,55 @@ let facts_of_window net r =
         fa_global = None;
       }
 
+(* A window the dataflow facts prove finding-free has full care and
+   reachability; these are exactly the facts [facts_of_window] would
+   have produced for it, at zero SAT cost. *)
+let facts_of_screened net s =
+  match Network.view net s with
+  | `Input _ | `Const _ -> None
+  | `Lut (fanins, _) ->
+      let k = Array.length fanins in
+      Some
+        {
+          fa_signal = s;
+          fa_free = Bv.create k false;
+          fa_unreach = Bv.create k false;
+          fa_dead = false;
+          fa_const = None;
+          fa_const_exact = None;
+          fa_global = None;
+        }
+
 type analysis = {
   an_facts : facts list;  (* topological order *)
   an_care_any : Bdd.t;
   an_outputs : (string * Bdd.t) list;  (* exact forward pass, may be [] *)
   an_cares : (string * Bdd.t) list;
+  an_df : Dataflow.t option;  (* cheap-tier facts, when screening is on *)
 }
 
-let analyze_network ?care_of_output ~analysis_nodes ~analysis_timeout ?stats m
-    ~var_of_input net =
+let analyze_network ?care_of_output ?(dataflow = true) ~analysis_nodes
+    ~analysis_timeout ?stats m ~var_of_input net =
+  let df = if dataflow then Some (Dataflow.analyze net) else None in
+  (match (stats, df) with
+  | Some st, Some df ->
+      st.Stats.df_iterations <- st.Stats.df_iterations + Dataflow.iterations df;
+      st.Stats.df_facts <- st.Stats.df_facts + Dataflow.fact_count df
+  | _ -> ());
+  let full_observable =
+    Option.map (Semantics.full_observable_hint ?care_of_output m net) df
+  in
   let check =
     Careflow.limiter ~max_nodes:analysis_nodes ~timeout:analysis_timeout m ()
   in
-  let flow = Careflow.analyze ?care_of_output ~check m ~var_of_input net in
+  let flow =
+    Careflow.analyze ?care_of_output ?full_observable ~check m ~var_of_input
+      net
+  in
+  (match stats with
+  | Some st ->
+      st.Stats.screened_out <- st.Stats.screened_out + flow.Careflow.screened
+  | None -> ());
   let exact =
     List.map (facts_of_exact m flow.Careflow.care_any) flow.Careflow.nodes
   in
@@ -168,25 +204,35 @@ let analyze_network ?care_of_output ~analysis_nodes ~analysis_timeout ?stats m
         (* Monotonic wall time, never processor time: a CPU-time clock
            advances at N-times wall rate under worker domains (deadline
            fires early) and barely advances while blocked (never
-           fires).  CI greps lib/ to keep it that way. *)
+           fires).  The srclint rules keep it that way. *)
         let deadline = Mono.now () +. 20.0 in
         let sat_check () =
           if Mono.now () > deadline then
             raise (Careflow.Cutoff "windowed-analysis timeout")
         in
         let results = ref [] in
+        let screened = ref 0 in
         (try
            List.iter
              (fun s ->
-               match
-                 Complete_dc.analyze_node ~max_conflicts:2000 ~check:sat_check
-                   ~counters ctx s
-               with
-               | Some r -> (
-                   match facts_of_window net r with
-                   | Some f -> results := f :: !results
+               match df with
+               | Some df when Semantics.window_screenable net df s -> (
+                   (* proven finding-free: same facts, no SAT call *)
+                   match facts_of_screened net s with
+                   | Some f ->
+                       incr screened;
+                       results := f :: !results
                    | None -> ())
-               | None -> ())
+               | _ -> (
+                   match
+                     Complete_dc.analyze_node ~max_conflicts:2000
+                       ~check:sat_check ~counters ctx s
+                   with
+                   | Some r -> (
+                       match facts_of_window net r with
+                       | Some f -> results := f :: !results
+                       | None -> ())
+                   | None -> ()))
              remaining
          with Careflow.Cutoff _ -> ());
         (match stats with
@@ -196,7 +242,8 @@ let analyze_network ?care_of_output ~analysis_nodes ~analysis_timeout ?stats m
             st.Stats.sat_conflicts <-
               st.Stats.sat_conflicts + counters.Complete_dc.sat_conflicts;
             st.Stats.windows_built <-
-              st.Stats.windows_built + counters.Complete_dc.windows_built
+              st.Stats.windows_built + counters.Complete_dc.windows_built;
+            st.Stats.screened_out <- st.Stats.screened_out + !screened
         | None -> ());
         List.rev !results
   in
@@ -212,6 +259,7 @@ let analyze_network ?care_of_output ~analysis_nodes ~analysis_timeout ?stats m
     an_care_any = flow.Careflow.care_any;
     an_outputs = flow.Careflow.outputs;
     an_cares = flow.Careflow.cares;
+    an_df = df;
   }
 
 (* ---- rewrite decisions ---- *)
@@ -227,8 +275,17 @@ type tier = Full | Safe
 (* Greedy fanin pruning: a fanin is redundant when every row pair
    differing only in it either agrees or has a refillable side; the
    refill keeps the pinned value where one exists.  This is the node
-   re-expressed as an ISF whose dc-set is its complete don't cares. *)
-let prune_fanins fanins tt free =
+   re-expressed as an ISF whose dc-set is its complete don't cares.
+
+   [only] restricts the positions tried to a candidate list (original
+   fanin indices).  The loop runs high to low, so when it considers
+   position [j] only higher positions can have been dropped and [j]
+   still names the original fanin — the candidate indices stay valid
+   throughout. *)
+let prune_fanins ?only fanins tt free =
+  let candidate j =
+    match only with None -> true | Some l -> List.mem j l
+  in
   let fanins = ref (Array.of_list fanins) in
   let tt = ref tt and free = ref free in
   let dropped = ref [] in
@@ -237,13 +294,14 @@ let prune_fanins fanins tt free =
     let k = Array.length !fanins in
     let bit = 1 lsl !j in
     let can =
-      List.for_all
-        (fun c ->
-          c land bit <> 0
-          || Bv.get !free c
-          || Bv.get !free (c lor bit)
-          || Bv.get !tt c = Bv.get !tt (c lor bit))
-        (List.init (1 lsl k) Fun.id)
+      candidate !j
+      && List.for_all
+           (fun c ->
+             c land bit <> 0
+             || Bv.get !free c
+             || Bv.get !free (c lor bit)
+             || Bv.get !tt c = Bv.get !tt (c lor bit))
+           (List.init (1 lsl k) Fun.id)
     in
     if can then begin
       let expand c' =
@@ -277,7 +335,7 @@ let prune_fanins fanins tt free =
 (* One set of simultaneous decisions over one analysis.  Returns the
    per-node decisions, the output redirections (duplicate output ->
    representative output) and the action log. *)
-let decide tier m net an =
+let decide ~screened tier m net an =
   let name_of = namer net in
   let no_care = Bdd.is_zero an.an_care_any in
   let decisions = Hashtbl.create 64 in
@@ -460,26 +518,47 @@ let decide tier m net an =
                 !merged
             end)
       (List.rev !group_keys);
-    (* 5. fanin pruning on whatever is left *)
+    (* 5. fanin pruning on whatever is left.  When the table has no
+       freedom (free vector all zero) a fanin is droppable exactly when
+       the table ignores it — which the cheap dataflow tier already
+       decided — so the trials are restricted to its SUP candidates
+       (vacuous and support-contained positions) and a node with none
+       is skipped outright. *)
     List.iter
       (fun f ->
         if not (decided f.fa_signal) then
           match Network.view net f.fa_signal with
           | `Input _ | `Const _ -> ()
           | `Lut (fanins, tt) ->
+              let only =
+                match an.an_df with
+                | Some df when Bv.is_zero (free_of f) -> (
+                    match Dataflow.fact_of df f.fa_signal with
+                    | Some nf ->
+                        Some
+                          (List.sort_uniq compare
+                             (nf.Dataflow.nf_vacuous
+                             @ nf.Dataflow.nf_contained))
+                    | None -> None)
+                | _ -> None
+              in
               let fanins = Array.to_list fanins in
-              if fanins <> [] then begin
-                let fanins', tt', dropped = prune_fanins fanins tt (free_of f) in
-                if dropped <> [] then begin
-                  (if Array.length fanins' = 0 then
-                     set f.fa_signal (Const (Bv.get tt' 0))
-                   else set f.fa_signal (Retable (fanins', tt')));
-                  act Prune_fanins f.fa_signal
-                    (Printf.sprintf "dropped redundant fanin%s %s"
-                       (if List.length dropped > 1 then "s" else "")
-                       (String.concat ", " (List.map name_of dropped)))
-                end
-              end)
+              if fanins <> [] then
+                match only with
+                | Some [] -> incr screened  (* provably nothing to prune *)
+                | _ ->
+                    let fanins', tt', dropped =
+                      prune_fanins ?only fanins tt (free_of f)
+                    in
+                    if dropped <> [] then begin
+                      (if Array.length fanins' = 0 then
+                         set f.fa_signal (Const (Bv.get tt' 0))
+                       else set f.fa_signal (Retable (fanins', tt')));
+                      act Prune_fanins f.fa_signal
+                        (Printf.sprintf "dropped redundant fanin%s %s"
+                           (if List.length dropped > 1 then "s" else "")
+                           (String.concat ", " (List.map name_of dropped)))
+                    end)
       an.an_facts
   end;
   (decisions, !redirects, List.rev !actions)
@@ -554,7 +633,8 @@ let rebuild net decisions redirects =
 type attempt = Accepted of Network.t * action list | Rejected | Nothing
 
 let run ?care_of_output ?(max_passes = 4) ?(audit_engine = `Bdd)
-    ?(analysis_nodes = 4_000_000) ?(analysis_timeout = 30.0) ?stats m net0 =
+    ?(analysis_nodes = 4_000_000) ?(analysis_timeout = 30.0) ?(dataflow = true)
+    ?stats m net0 =
   let inputs = List.mapi (fun k (name, _) -> (name, k)) (Network.inputs net0) in
   let var_of_input name =
     match List.assoc_opt name inputs with
@@ -589,11 +669,16 @@ let run ?care_of_output ?(max_passes = 4) ?(audit_engine = `Bdd)
     if passes >= max_passes then (net, passes, reverted, actions)
     else begin
       let an =
-        analyze_network ?care_of_output ~analysis_nodes ~analysis_timeout
-          ?stats m ~var_of_input net
+        analyze_network ?care_of_output ~dataflow ~analysis_nodes
+          ~analysis_timeout ?stats m ~var_of_input net
       in
       let attempt tier =
-        let decisions, redirects, acts = decide tier m net an in
+        let screened = ref 0 in
+        let decisions, redirects, acts = decide ~screened tier m net an in
+        (match stats with
+        | Some st ->
+            st.Stats.screened_out <- st.Stats.screened_out + !screened
+        | None -> ());
         if acts = [] then Nothing
         else begin
           let cand = rebuild net decisions redirects in

@@ -60,6 +60,7 @@ val run :
   ?audit_engine:[ `Bdd | `Sat ] ->
   ?analysis_nodes:int ->
   ?analysis_timeout:float ->
+  ?dataflow:bool ->
   ?stats:Stats.t ->
   Bdd.manager ->
   Network.t ->
@@ -73,6 +74,13 @@ val run :
     ignores [care_of_output] and demands full equivalence) but immune
     to BDD blow-up.  [analysis_nodes]/[analysis_timeout] budget each
     pass's exact dataflow (defaults 4M BDD nodes / 30 s) before the
-    windowed fallback takes over.  [stats] mirrors the analysis
-    coverage and SAT counters ([sat_calls], [sat_conflicts],
-    [windows_built]) like the decomposition driver does. *)
+    windowed fallback takes over.  [dataflow] (default [true]) lets
+    the cheap {!Check.Dataflow} tier screen the expensive engines —
+    exactly-known observability sets skip exact ODC computations,
+    finding-free windows skip SAT calls, and fanin pruning restricts
+    its trials to the tier's redundancy candidates; every screen is
+    justified by a sound fact, so no rewrite the engines could justify
+    is lost, and the audit guards every candidate either way.  [stats]
+    mirrors the analysis coverage, SAT and dataflow-screen counters
+    ([sat_calls], [sat_conflicts], [windows_built], [df_iterations],
+    [df_facts], [screened_out]) like the decomposition driver does. *)

@@ -16,6 +16,9 @@ type t = {
   mutable sat_calls : int;
   mutable sat_conflicts : int;
   mutable windows_built : int;
+  mutable df_iterations : int;
+  mutable df_facts : int;
+  mutable screened_out : int;
   mutable degradations : (string * string * string) list;
   mutable findings : (string * string * string) list;
   phases : (string, float) Hashtbl.t;
@@ -40,6 +43,9 @@ let create () =
     sat_calls = 0;
     sat_conflicts = 0;
     windows_built = 0;
+    df_iterations = 0;
+    df_facts = 0;
+    screened_out = 0;
     degradations = [];
     findings = [];
     phases = Hashtbl.create 8;
@@ -63,6 +69,9 @@ let reset t =
   t.sat_calls <- 0;
   t.sat_conflicts <- 0;
   t.windows_built <- 0;
+  t.df_iterations <- 0;
+  t.df_facts <- 0;
+  t.screened_out <- 0;
   t.degradations <- [];
   t.findings <- [];
   Hashtbl.reset t.phases
@@ -85,6 +94,9 @@ let merge ~into s =
   into.sat_calls <- into.sat_calls + s.sat_calls;
   into.sat_conflicts <- into.sat_conflicts + s.sat_conflicts;
   into.windows_built <- into.windows_built + s.windows_built;
+  into.df_iterations <- into.df_iterations + s.df_iterations;
+  into.df_facts <- into.df_facts + s.df_facts;
+  into.screened_out <- into.screened_out + s.screened_out;
   (* both lists are newest-first; keep the merged one newest-first too *)
   into.degradations <- s.degradations @ into.degradations;
   into.findings <- s.findings @ into.findings;
@@ -167,6 +179,9 @@ let counter_fields =
     ("sat_calls", (fun t -> t.sat_calls), fun t v -> t.sat_calls <- v);
     ("sat_conflicts", (fun t -> t.sat_conflicts), fun t v -> t.sat_conflicts <- v);
     ("windows_built", (fun t -> t.windows_built), fun t v -> t.windows_built <- v);
+    ("df_iterations", (fun t -> t.df_iterations), fun t v -> t.df_iterations <- v);
+    ("df_facts", (fun t -> t.df_facts), fun t v -> t.df_facts <- v);
+    ("screened_out", (fun t -> t.screened_out), fun t v -> t.screened_out <- v);
   ]
 
 let counter_names = List.map (fun (name, _, _) -> name) counter_fields
@@ -255,6 +270,10 @@ let pp fmt t =
     Format.fprintf fmt
       "@,sat engine: %d window(s), %d call(s), %d conflict(s)"
       t.windows_built t.sat_calls t.sat_conflicts;
+  if t.df_facts > 0 || t.screened_out > 0 then
+    Format.fprintf fmt
+      "@,dataflow screen: %d fact(s) in %d iteration(s), %d work unit(s) screened"
+      t.df_facts t.df_iterations t.screened_out;
   (match degradations t with
   | [] -> ()
   | ds ->

@@ -36,6 +36,13 @@ type t = {
           [findings]) *)
   mutable sat_conflicts : int;  (** conflicts across those calls *)
   mutable windows_built : int;  (** windows extracted for SAT analysis *)
+  mutable df_iterations : int;
+      (** dataflow fixpoint-solver node visits (all lattice domains),
+          mirrored from the check layer's screening tier *)
+  mutable df_facts : int;  (** facts the dataflow tier derived *)
+  mutable screened_out : int;
+      (** expensive-engine work units (exact ODC computations, SAT
+          windows) skipped on the strength of a dataflow fact *)
   mutable degradations : (string * string * string) list;
       (** budget degradation events, newest first:
           [(stage entered, resource exceeded, where it was detected)] *)

@@ -39,6 +39,20 @@ let diagnostic_tests =
           (fun c ->
             check_bool c true (Diagnostic.severity_of_code c <> None))
           cs);
+    Alcotest.test_case "families partition the catalogue in order" `Quick
+      (fun () ->
+        check_string "family of SEM003" "SEM" (Diagnostic.family "SEM003");
+        check_string "family of SUP001" "SUP" (Diagnostic.family "SUP001");
+        (* concatenating the groups reproduces the catalogue exactly:
+           families only regroup, never reorder or drop *)
+        check_bool "partition" true
+          (List.concat_map snd Diagnostic.families = Diagnostic.catalogue);
+        check_bool "family order" true
+          (List.map fst Diagnostic.families
+          = [ "NET"; "DEC"; "PLA"; "SEM"; "SUP" ]);
+        (* the SUP family is new in catalogue 3; a version bump is how
+           JSON consumers detect the vocabulary change *)
+        check_string "version" "3" Diagnostic.catalogue_version);
     Alcotest.test_case "make rejects unknown codes" `Quick (fun () ->
         match Diagnostic.make "XYZ999" "nope" with
         | exception Invalid_argument _ -> ()

@@ -17,6 +17,7 @@ let () =
       ("batch", Test_batch.suite);
       ("sat", Test_sat.suite);
       ("check", Test_check.suite);
+      ("dataflow", Test_dataflow.suite);
       ("semantics", Test_semantics.suite);
       ("optimize", Test_optimize.suite);
       ("objective", Test_objective.suite);
